@@ -1,0 +1,399 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (regenerating the experiment end to end and reporting its headline metric
+// via b.ReportMetric), plus micro-benchmarks of the codec and substrates.
+//
+// Run everything:  go test -bench=. -benchmem
+// One experiment:  go test -bench=BenchmarkFig1FileSize -benchtime=1x
+package flowzip_test
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flowzip"
+	"flowzip/internal/baseline"
+	"flowzip/internal/cluster"
+	"flowzip/internal/core"
+	"flowzip/internal/figures"
+	"flowzip/internal/flow"
+	"flowzip/internal/memsim"
+	"flowzip/internal/netbench"
+	"flowzip/internal/radix"
+	"flowzip/internal/stats"
+	"flowzip/internal/trace"
+)
+
+// benchConfig is the shared experiment scale for the table/figure benches:
+// large enough for stable shapes, small enough that -bench=. finishes in
+// minutes.
+func benchConfig() figures.Config {
+	cfg := figures.DefaultConfig()
+	cfg.Flows = 4000
+	cfg.Duration = 20 * time.Second
+	cfg.Steps = 5
+	cfg.TableBackground = 10000
+	return cfg
+}
+
+var (
+	benchTraceOnce sync.Once
+	benchTrace     *trace.Trace
+)
+
+// sharedTrace builds one deterministic Web trace reused by the
+// micro-benchmarks.
+func sharedTrace() *trace.Trace {
+	benchTraceOnce.Do(func() {
+		cfg := flowzip.DefaultWebConfig()
+		cfg.Seed = 1
+		cfg.Flows = 4000
+		cfg.Duration = 20 * time.Second
+		benchTrace = flowzip.GenerateWeb(cfg)
+	})
+	return benchTrace
+}
+
+// --- Experiment benchmarks (one per table/figure) ---
+
+// BenchmarkFig1FileSize regenerates Figure 1 (file size vs elapsed time,
+// five methods) and reports the final proposed-method megabytes.
+func BenchmarkFig1FileSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := fig.Series[4].Points
+		b.ReportMetric(last[len(last)-1][1], "proposed_MB")
+	}
+}
+
+// BenchmarkRatioTable regenerates the Sections 1/5 ratio table and reports
+// the proposed method's measured ratio.
+func BenchmarkRatioTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := figures.RatioTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := strconv.ParseFloat(t.Rows[4][2], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r, "ratio")
+	}
+}
+
+// BenchmarkAnalyticTable regenerates the equation 5–8 table and reports the
+// flow-weighted R_vj.
+func BenchmarkAnalyticTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := figures.AnalyticTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := strconv.ParseFloat(t.Rows[0][1], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r, "R_vj")
+	}
+}
+
+// BenchmarkFlowLengthTable regenerates the Section 3 statistics and reports
+// the percentage of flows under 51 packets.
+func BenchmarkFlowLengthTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := figures.FlowLengthTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(t.Rows[0][1], "%"), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, "flows<51_%")
+	}
+}
+
+// BenchmarkFig2MemoryAccess runs the four-trace memory study and reports
+// the |decomp-original| mean-access deviation (smaller = better fidelity).
+func BenchmarkFig2MemoryAccess(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Flows = 2000
+	for i := 0; i < b.N; i++ {
+		study, err := figures.RunMemStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mo := stats.Summarize(study.Results[0].AccessCounts()).Mean
+		md := stats.Summarize(study.Results[1].AccessCounts()).Mean
+		dev := md - mo
+		if dev < 0 {
+			dev = -dev
+		}
+		b.ReportMetric(dev, "mean_access_dev")
+	}
+}
+
+// BenchmarkFig3CacheMiss runs the same study and reports the original
+// trace's low-miss (<5%) traffic share.
+func BenchmarkFig3CacheMiss(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Flows = 2000
+	for i := 0; i < b.N; i++ {
+		study, err := figures.RunMemStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := study.Fig3()
+		v, err := strconv.ParseFloat(strings.TrimSuffix(t.Rows[0][1], "%"), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, "orig_low_miss_%")
+	}
+}
+
+// BenchmarkClusterStudy regenerates the Section 2.1 study and reports
+// flows-per-cluster concentration.
+func BenchmarkClusterStudy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, t, err := figures.ClusterStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := strconv.ParseFloat(t.Rows[2][1], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, "flows_per_cluster")
+	}
+}
+
+// BenchmarkWeightAblation sweeps the characterization weights.
+func BenchmarkWeightAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.WeightAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdAblation sweeps the eq. 4 similarity threshold.
+func BenchmarkThresholdAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.ThresholdAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheAblation sweeps cache geometries.
+func BenchmarkCacheAblation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Flows = 1500
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.CacheAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks ---
+
+// BenchmarkCompress measures codec throughput in packets/op terms.
+func BenchmarkCompress(b *testing.B) {
+	tr := sharedTrace()
+	b.SetBytes(int64(tr.Len()) * 44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compress(tr, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompress measures regeneration throughput.
+func BenchmarkDecompress(b *testing.B) {
+	tr := sharedTrace()
+	arch, err := core.Compress(tr, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(tr.Len()) * 44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decompress(arch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArchiveEncode measures container serialization.
+func BenchmarkArchiveEncode(b *testing.B) {
+	arch, err := core.Compress(sharedTrace(), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arch.Encode(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGZIPBaseline measures the GZIP comparison path.
+func BenchmarkGZIPBaseline(b *testing.B) {
+	tr := sharedTrace()
+	b.SetBytes(int64(tr.Len()) * 44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Size(baseline.GZIP{}, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVJEncode measures the RFC 1144-adapted encoder.
+func BenchmarkVJEncode(b *testing.B) {
+	tr := sharedTrace()
+	vj := baseline.NewVJ()
+	b.SetBytes(int64(tr.Len()) * 44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vj.Encode(io.Discard, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPeuhkuriEncode measures the Peuhkuri recoder.
+func BenchmarkPeuhkuriEncode(b *testing.B) {
+	tr := sharedTrace()
+	pz := baseline.NewPeuhkuri()
+	b.SetBytes(int64(tr.Len()) * 44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pz.Encode(io.Discard, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRadixLookup measures uninstrumented longest-prefix-match.
+func BenchmarkRadixLookup(b *testing.B) {
+	rng := stats.NewRNG(1)
+	tree, err := radix.BuildTable(radix.GenerateTable(rng, 100000), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]uint32, 4096)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Lookup(addrs[i&4095])
+	}
+}
+
+// BenchmarkRadixLookupInstrumented measures the ATOM-instrumented path with
+// the cache model attached.
+func BenchmarkRadixLookupInstrumented(b *testing.B) {
+	rng := stats.NewRNG(1)
+	rec := memsim.NewRecorder(memsim.MustCache(memsim.DefaultCacheConfig()))
+	tree, err := radix.BuildTable(radix.GenerateTable(rng, 100000), rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]uint32, 4096)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.BeginPacket()
+		tree.Lookup(addrs[i&4095])
+		rec.EndPacket()
+	}
+}
+
+// BenchmarkCacheAccess measures the cache simulator hot path.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := memsim.MustCache(memsim.DefaultCacheConfig())
+	rng := stats.NewRNG(2)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = rng.Uint64() & 0xFFFFF
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095])
+	}
+}
+
+// BenchmarkTemplateMatch measures the cluster-store similarity search over
+// a realistic vector population.
+func BenchmarkTemplateMatch(b *testing.B) {
+	flows := flow.Assemble(sharedTrace().Packets)
+	vectors := make([]flow.Vector, 0, len(flows))
+	for _, f := range flows {
+		if f.Len() <= 50 {
+			vectors = append(vectors, f.Vector(flow.DefaultWeights))
+		}
+	}
+	if len(vectors) == 0 {
+		b.Fatal("no vectors")
+	}
+	store := cluster.NewStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Match(vectors[i%len(vectors)])
+	}
+}
+
+// BenchmarkWebGeneration measures the synthetic trace generator.
+func BenchmarkWebGeneration(b *testing.B) {
+	cfg := flowzip.DefaultWebConfig()
+	cfg.Flows = 1000
+	cfg.Duration = 5 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		tr := flowzip.GenerateWeb(cfg)
+		if tr.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkRouteKernel measures the full per-packet measurement path
+// (checkpoint + instrumented lookup + cache).
+func BenchmarkRouteKernel(b *testing.B) {
+	tr := sharedTrace()
+	routes := netbench.CoveringTable(tr, 5, 10000, 1)
+	rec := memsim.NewRecorder(memsim.MustCache(memsim.DefaultCacheConfig()))
+	k, err := netbench.NewRoute(routes, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.BeginPacket()
+		k.Process(&tr.Packets[i%tr.Len()])
+		rec.EndPacket()
+	}
+}

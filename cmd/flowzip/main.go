@@ -1,0 +1,238 @@
+// Command flowzip compresses and decompresses packet traces with the
+// flow-clustering codec, and compares the paper's baseline methods.
+//
+// Usage:
+//
+//	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2]
+//	flowzip decompress -i web.fz -o back.tsh
+//	flowzip inspect   -i web.fz
+//	flowzip compare   -i web.tsh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"flowzip/internal/baseline"
+	"flowzip/internal/core"
+	"flowzip/internal/flow"
+	"flowzip/internal/stats"
+	"flowzip/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowzip: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "compress":
+		runCompress(args)
+	case "decompress":
+		runDecompress(args)
+	case "inspect":
+		runInspect(args)
+	case "compare":
+		runCompare(args)
+	case "synth":
+		runSynth(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: flowzip <command> [flags]
+
+commands:
+  compress    compress a trace (.tsh/.pcap) into a flowzip archive
+  decompress  regenerate a synthetic trace from an archive
+  inspect     print archive dataset statistics
+  compare     run all baseline compressors on a trace
+  synth       generate a new trace from an archive's traffic model`)
+	os.Exit(2)
+}
+
+func runSynth(args []string) {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	in := fs.String("i", "", "input archive")
+	out := fs.String("o", "synth.tsh", "output trace (.tsh or .pcap)")
+	flows := fs.Int("flows", 0, "flows to synthesize (0 = same as source)")
+	scale := fs.Float64("scale", 1.0, "arrival-rate multiplier")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("synth: -i required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	arch, err := core.Decode(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultSynthConfig(arch)
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	if *flows > 0 {
+		cfg.Flows = *flows
+	}
+	tr, err := core.Synthesize(arch, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", *out, tr.ComputeStats())
+}
+
+func runCompress(args []string) {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("i", "", "input trace (.tsh or .pcap)")
+	out := fs.String("o", "out.fz", "output archive")
+	shortMax := fs.Int("shortmax", 50, "largest short-flow packet count")
+	limit := fs.Float64("limit", 2.0, "similarity threshold (% of max distance)")
+	w1 := fs.Int("w1", 16, "flag-class weight")
+	w2 := fs.Int("w2", 4, "dependence weight")
+	w3 := fs.Int("w3", 1, "size-class weight")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("compress: -i required")
+	}
+
+	tr, err := trace.LoadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !tr.IsSorted() {
+		tr.Sort()
+	}
+	opts := core.DefaultOptions()
+	opts.ShortMax = *shortMax
+	opts.LimitPct = *limit
+	opts.Weights = flow.Weights{Flag: *w1, Dep: *w2, Size: *w3}
+	arch, err := core.Compress(tr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sizes, err := arch.Encode(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	ratio := float64(sizes.Total()) / float64(arch.SourceTSHBytes)
+	fmt.Printf("%s: %d packets, %d flows -> %d bytes (ratio %.4f)\n",
+		*out, arch.SourcePackets, arch.Flows(), sizes.Total(), ratio)
+}
+
+func runDecompress(args []string) {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("i", "", "input archive")
+	out := fs.String("o", "out.tsh", "output trace (.tsh or .pcap)")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("decompress: -i required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	arch, err := core.Decode(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := core.Decompress(arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", *out, tr.ComputeStats())
+}
+
+func runInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("i", "", "input archive")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("inspect: -i required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	arch, err := core.Decode(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes, err := arch.Encode(discard{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &stats.Table{Title: "archive " + *in, Headers: []string{"field", "value"}}
+	t.AddRowf("flows", arch.Flows())
+	t.AddRowf("packets", arch.Packets())
+	t.AddRowf("short templates", len(arch.ShortTemplates))
+	t.AddRowf("long templates", len(arch.LongTemplates))
+	t.AddRowf("addresses", len(arch.Addresses))
+	t.AddRowf("weights", arch.Opts.Weights.String())
+	t.AddRowf("short max", arch.Opts.ShortMax)
+	t.AddRowf("limit %", arch.Opts.LimitPct)
+	t.AddRowf("encoded bytes", sizes.Total())
+	t.AddRowf("source packets", arch.SourcePackets)
+	t.AddRowf("source TSH bytes", arch.SourceTSHBytes)
+	if arch.SourceTSHBytes > 0 {
+		t.AddRowf("ratio", float64(sizes.Total())/float64(arch.SourceTSHBytes))
+	}
+	t.Render(os.Stdout)
+}
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	in := fs.String("i", "", "input trace")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("compare: -i required")
+	}
+	tr, err := trace.LoadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !tr.IsSorted() {
+		tr.Sort()
+	}
+	t := &stats.Table{Title: "compression comparison: " + *in, Headers: []string{"method", "bytes", "ratio"}}
+	for _, m := range baseline.All() {
+		sz, err := baseline.Size(m, tr)
+		if err != nil {
+			log.Fatalf("%s: %v", m.Name(), err)
+		}
+		ratio, err := baseline.Ratio(m, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(m.Name(), fmt.Sprintf("%d", sz), fmt.Sprintf("%.4f", ratio))
+	}
+	t.Render(os.Stdout)
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,80 @@
+// Command tracegen generates synthetic header traces: the Web-traffic model
+// that stands in for the paper's RedIRIS/NLANR captures, the
+// random-destination variant, and the fractal (multiplicative process + LRU
+// stack) trace of Section 6.
+//
+// Usage:
+//
+//	tracegen -kind web -flows 20000 -duration 60s -o web.tsh
+//	tracegen -kind random -base web.tsh -o random.tsh
+//	tracegen -kind fractal -packets 100000 -o frac.pcap
+//
+// The output format follows the file extension (.tsh or .pcap).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flowzip/internal/flowgen"
+	"flowzip/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		kind     = flag.String("kind", "web", "trace kind: web, random, fractal")
+		out      = flag.String("o", "trace.tsh", "output path (.tsh or .pcap)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		flows    = flag.Int("flows", 20000, "web: number of flows")
+		duration = flag.Duration("duration", 60*time.Second, "web: trace duration")
+		servers  = flag.Int("servers", 500, "web: server pool size")
+		base     = flag.String("base", "", "random: base trace to re-address")
+		packets  = flag.Int("packets", 100000, "fractal: packet count")
+		quiet    = flag.Bool("q", false, "suppress the stats line")
+	)
+	flag.Parse()
+
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch *kind {
+	case "web":
+		cfg := flowgen.DefaultWebConfig()
+		cfg.Seed = *seed
+		cfg.Flows = *flows
+		cfg.Duration = *duration
+		cfg.Servers = *servers
+		tr = flowgen.Web(cfg)
+	case "random":
+		if *base == "" {
+			log.Fatal("-kind random requires -base")
+		}
+		var bt *trace.Trace
+		bt, err = trace.LoadFile(*base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr = flowgen.RandomizeAddresses(bt, *seed)
+	case "fractal":
+		cfg := flowgen.DefaultFractalConfig()
+		cfg.Seed = *seed
+		cfg.Packets = *packets
+		tr = flowgen.Fractal(cfg)
+	default:
+		log.Fatalf("unknown kind %q (want web, random or fractal)", *kind)
+	}
+
+	if err := tr.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stdout, "%s: %s\n", *out, tr.ComputeStats())
+	}
+}

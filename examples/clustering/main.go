@@ -1,0 +1,75 @@
+// Clustering: the Section 2.1 flow-diversity study. Characterize every Web
+// flow as an F vector, cluster same-length vectors with the paper's
+// threshold method and with k-means, and show how few clusters cover almost
+// all flows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flowzip"
+	"flowzip/internal/cluster"
+	"flowzip/internal/flow"
+	"flowzip/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := flowzip.DefaultWebConfig()
+	cfg.Seed = 5
+	cfg.Flows = 6000
+	cfg.Duration = 30 * time.Second
+	tr := flowzip.GenerateWeb(cfg)
+
+	flows := flow.Assemble(tr.Packets)
+	fmt.Printf("assembled %d flows from %d packets\n\n", len(flows), tr.Len())
+
+	// Characterization vectors of short flows.
+	w := flow.DefaultWeights
+	var vectors []flow.Vector
+	byLen := map[int][]flow.Vector{}
+	for _, f := range flows {
+		if f.Len() > 50 {
+			continue
+		}
+		v := f.Vector(w)
+		vectors = append(vectors, v)
+		byLen[f.Len()] = append(byLen[f.Len()], v)
+	}
+
+	// Threshold clustering (the compressor's method).
+	rep := cluster.Diversity(vectors)
+	t := &stats.Table{Title: "threshold clustering (d_lim = n)", Headers: []string{"statistic", "value"}}
+	t.AddRowf("short flows", rep.Flows)
+	t.AddRowf("clusters", rep.Clusters)
+	t.AddRow("flows per cluster", fmt.Sprintf("%.1f", rep.FlowsPerCenter))
+	t.AddRow("largest cluster", fmt.Sprintf("%.1f%% of flows", 100*rep.TopShare))
+	t.AddRow("top 5 clusters", fmt.Sprintf("%.1f%% of flows", 100*rep.Top5Share))
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	// K-means over the most common flow length, as an independent view of
+	// the same concentration.
+	bestLen, bestCount := 0, 0
+	for n, vs := range byLen {
+		if len(vs) > bestCount {
+			bestLen, bestCount = n, len(vs)
+		}
+	}
+	vs := byLen[bestLen]
+	res := cluster.KMeans(vs, 4, stats.NewRNG(1), 100)
+	kt := &stats.Table{
+		Title:   fmt.Sprintf("k-means (k=4) over %d-packet flows (%d vectors)", bestLen, len(vs)),
+		Headers: []string{"cluster", "size", "share"},
+	}
+	for i, sz := range res.Sizes {
+		kt.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", sz),
+			fmt.Sprintf("%.1f%%", 100*float64(sz)/float64(len(vs))))
+	}
+	kt.Render(os.Stdout)
+	fmt.Printf("\nk-means inertia: %.1f after %d iterations\n", res.Inertia, res.Iterations)
+}

@@ -1,0 +1,64 @@
+// Compare: run the paper's five compression methods (Figure 1) over growing
+// prefixes of one trace and print the file-size curves plus the final ratio
+// table — a miniature of the paper's headline evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flowzip"
+	"flowzip/internal/baseline"
+	"flowzip/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := flowzip.DefaultWebConfig()
+	cfg.Seed = 7
+	cfg.Flows = 8000
+	cfg.Duration = 60 * time.Second
+	tr := flowzip.GenerateWeb(cfg)
+	fmt.Printf("trace: %s\n\n", tr.ComputeStats())
+
+	// File size vs elapsed time, like Figure 1.
+	fig := &stats.Figure{
+		Title:  "File size vs elapsed time (mini Figure 1)",
+		XLabel: "elapsed (s)",
+		YLabel: "size (KB)",
+	}
+	methods := flowzip.Baselines()
+	series := make([][][2]float64, len(methods))
+	const steps = 6
+	for s := 1; s <= steps; s++ {
+		elapsed := cfg.Duration * time.Duration(s) / steps
+		slice := tr.Slice(0, elapsed)
+		for i, m := range methods {
+			sz, err := baseline.Size(m, slice)
+			if err != nil {
+				log.Fatalf("%s: %v", m.Name(), err)
+			}
+			series[i] = append(series[i], [2]float64{elapsed.Seconds(), float64(sz) / 1024})
+		}
+	}
+	for i, m := range methods {
+		fig.Add(m.Name(), series[i])
+	}
+	fig.Table().Render(os.Stdout)
+
+	// Final ratios.
+	fmt.Println()
+	t := &stats.Table{Title: "final compression ratios", Headers: []string{"method", "ratio", "paper"}}
+	paper := []string{"1.00", "~0.50", "~0.30", "~0.16", "~0.03"}
+	for i, m := range methods {
+		r, err := flowzip.BaselineRatio(m, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(m.Name(), fmt.Sprintf("%.4f", r), paper[i])
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,135 @@
+// Package flowzip is a lossy packet-trace compressor based on TCP flow
+// clustering, reproducing Holanda, Verdú, García and Valero, "Performance
+// Analysis of a New Packet Trace Compressor based on TCP Flow Clustering"
+// (ISPASS 2005).
+//
+// The compressor reduces TCP/IP header traces to a few percent of their
+// original size by exploiting the similarity of Web flows: each flow maps
+// to a small integer vector (TCP flag class, acknowledgment dependence and
+// payload-size class per packet, weighted 16/4/1), similar vectors share a
+// cluster template, and the compressed file stores four datasets —
+// short-flow templates, long-flow templates, unique destination addresses
+// and a per-flow time-seq index. Decompression regenerates a synthetic
+// trace preserving the statistical properties that matter for
+// memory-system studies of network code.
+//
+// Quick start:
+//
+//	tr := flowzip.GenerateWeb(flowzip.DefaultWebConfig())
+//	archive, err := flowzip.Compress(tr, flowzip.DefaultOptions())
+//	// ... persist with archive.Encode, inspect archive.Ratio() ...
+//	back, err := flowzip.Decompress(archive)
+//
+// The subsystems behind the facade live in internal/ (see DESIGN.md for the
+// map); the cmd/ binaries and examples/ directory show complete pipelines,
+// including the paper's figure reproductions.
+package flowzip
+
+import (
+	"io"
+
+	"flowzip/internal/baseline"
+	"flowzip/internal/core"
+	"flowzip/internal/flow"
+	"flowzip/internal/flowgen"
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+)
+
+// Re-exported core types. The aliases make the internal implementation
+// importable through the public package.
+type (
+	// Trace is an in-memory packet trace.
+	Trace = trace.Trace
+	// Packet is one TCP/IP header record.
+	Packet = pkt.Packet
+	// FiveTuple identifies one direction of a conversation.
+	FiveTuple = pkt.FiveTuple
+	// Archive is a compressed trace (the paper's four datasets).
+	Archive = core.Archive
+	// Options tunes the codec.
+	Options = core.Options
+	// CompressStats counts compressor activity.
+	CompressStats = core.CompressStats
+	// Weights are the characterization-mapping weights (w1, w2, w3).
+	Weights = flow.Weights
+	// WebConfig parameterizes the synthetic Web-traffic generator.
+	WebConfig = flowgen.WebConfig
+	// FractalConfig parameterizes the fractal (LRU-stack) generator.
+	FractalConfig = flowgen.FractalConfig
+	// TraceStats summarizes a trace.
+	TraceStats = trace.Stats
+	// Compressor is the streaming compression pipeline.
+	Compressor = core.Compressor
+	// Method is a compression scheme under comparison (baselines).
+	Method = baseline.Method
+)
+
+// DefaultOptions returns the paper's codec parameters
+// (weights 16/4/1, short flows up to 50 packets, 2% similarity threshold).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultWebConfig returns a Web-traffic model calibrated to the paper's
+// trace statistics.
+func DefaultWebConfig() WebConfig { return flowgen.DefaultWebConfig() }
+
+// DefaultFractalConfig returns the fracexp generator defaults.
+func DefaultFractalConfig() FractalConfig { return flowgen.DefaultFractalConfig() }
+
+// P2PConfig parameterizes the peer-to-peer generator (the paper's
+// future-work workload).
+type P2PConfig = flowgen.P2PConfig
+
+// DefaultP2PConfig returns the P2P generator defaults.
+func DefaultP2PConfig() P2PConfig { return flowgen.DefaultP2PConfig() }
+
+// GenerateP2P produces a synthetic peer-to-peer header trace.
+func GenerateP2P(cfg P2PConfig) *Trace { return flowgen.P2P(cfg) }
+
+// SynthConfig parameterizes trace synthesis from an archive.
+type SynthConfig = core.SynthConfig
+
+// Synthesize generates a brand-new trace from an archive's traffic model —
+// the paper's future-work "synthetic packet trace generator based on the
+// described methodology".
+func Synthesize(a *Archive, cfg SynthConfig) (*Trace, error) { return core.Synthesize(a, cfg) }
+
+// LoadDatasets reads an archive stored as the paper's four-dataset layout.
+func LoadDatasets(dir string) (*Archive, error) { return core.LoadDatasets(dir) }
+
+// GenerateWeb produces a synthetic Web header trace.
+func GenerateWeb(cfg WebConfig) *Trace { return flowgen.Web(cfg) }
+
+// GenerateFractal produces the multiplicative-process/LRU-stack trace.
+func GenerateFractal(cfg FractalConfig) *Trace { return flowgen.Fractal(cfg) }
+
+// RandomizeAddresses derives the random-destination variant of a trace.
+func RandomizeAddresses(tr *Trace, seed uint64) *Trace {
+	return flowgen.RandomizeAddresses(tr, seed)
+}
+
+// Compress runs the flow-clustering compressor over a timestamp-sorted
+// trace.
+func Compress(tr *Trace, opts Options) (*Archive, error) { return core.Compress(tr, opts) }
+
+// NewCompressor returns a streaming compressor for packet-at-a-time use.
+func NewCompressor(opts Options) (*Compressor, error) { return core.NewCompressor(opts) }
+
+// Decompress regenerates a synthetic trace from an archive.
+func Decompress(a *Archive) (*Trace, error) { return core.Decompress(a) }
+
+// DecodeArchive parses a compressed archive from r.
+func DecodeArchive(r io.Reader) (*Archive, error) { return core.Decode(r) }
+
+// LoadTrace reads a trace file (TSH or pcap, by extension).
+func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }
+
+// NewTrace returns an empty named trace.
+func NewTrace(name string) *Trace { return trace.New(name) }
+
+// Baselines returns the paper's comparison methods in Figure 1 order:
+// Original, GZIP, VJ, Peuhkuri, Proposed.
+func Baselines() []Method { return baseline.All() }
+
+// BaselineRatio measures a method's compression ratio on a trace.
+func BaselineRatio(m Method, tr *Trace) (float64, error) { return baseline.Ratio(m, tr) }

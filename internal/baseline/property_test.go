@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+)
+
+// randomStream builds an adversarial packet stream from fuzz input: a few
+// connections with arbitrary field jumps, out-of-order timestamps within the
+// stream (but per-flow monotone enough to exercise both delta and full
+// records).
+func randomStream(raw []uint32) *trace.Trace {
+	tr := trace.New("fuzz")
+	ts := time.Duration(0)
+	for i, v := range raw {
+		ts += time.Duration(v%100000) * time.Microsecond
+		conn := v % 5
+		p := pkt.Packet{
+			Timestamp:  ts,
+			SrcIP:      pkt.Addr(10, 0, 0, byte(conn)),
+			DstIP:      pkt.Addr(20, 0, 0, 1),
+			SrcPort:    uint16(5000 + conn),
+			DstPort:    80,
+			Proto:      pkt.ProtoTCP,
+			Flags:      pkt.TCPFlags(v >> 8),
+			Seq:        v * 2654435761,
+			Ack:        v ^ 0xdeadbeef,
+			Window:     uint16(v >> 12),
+			TTL:        byte(64 + (v>>16)%4),
+			IPID:       uint16(i),
+			PayloadLen: uint16(v % 1461),
+		}
+		tr.Append(p)
+	}
+	return tr
+}
+
+// Property: VJ decode(encode(x)) == x (µs timestamps) for arbitrary streams.
+func TestQuickVJLossless(t *testing.T) {
+	vj := NewVJ()
+	f := func(raw []uint32) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		tr := randomStream(raw)
+		var buf bytes.Buffer
+		if _, err := vj.Encode(&buf, tr); err != nil {
+			return false
+		}
+		back, err := vj.Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Packets {
+			want := tr.Packets[i]
+			got := back.Packets[i]
+			if want.Timestamp/time.Microsecond != got.Timestamp/time.Microsecond {
+				return false
+			}
+			want.Timestamp, got.Timestamp = 0, 0
+			if want != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Peuhkuri preserves tuple, payload, flags and µs timing for
+// arbitrary streams.
+func TestQuickPeuhkuriPreserved(t *testing.T) {
+	pz := NewPeuhkuri()
+	f := func(raw []uint32) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		tr := randomStream(raw)
+		var buf bytes.Buffer
+		if _, err := pz.Encode(&buf, tr); err != nil {
+			return false
+		}
+		back, err := pz.Decode(&buf)
+		if err != nil || back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Packets {
+			want := &tr.Packets[i]
+			got := &back.Packets[i]
+			if want.Tuple() != got.Tuple() {
+				return false
+			}
+			if want.PayloadLen != got.PayloadLen || want.Flags != got.Flags {
+				return false
+			}
+			if want.Timestamp/time.Microsecond != got.Timestamp/time.Microsecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every method's output is smaller than double the original and
+// positive for non-empty traces (sanity envelope across arbitrary streams).
+func TestQuickSizeEnvelope(t *testing.T) {
+	methods := All()
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 100 {
+			raw = raw[:100]
+		}
+		tr := randomStream(raw)
+		orig := int64(tr.Len()) * 44
+		for _, m := range methods {
+			sz, err := Size(m, tr)
+			if err != nil {
+				return false
+			}
+			if sz <= 0 || sz > orig*2+1024 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"container/heap"
+
+	"flowzip/internal/flow"
+)
+
+// Agglomerative performs single-linkage hierarchical clustering over
+// same-length vectors under the L1 metric, merging until no inter-cluster
+// distance is below stop. It complements KMeans in the Section 2.1
+// diversity study: the threshold store is order-dependent (online), whereas
+// the agglomerative result is order-independent, so comparing the two
+// cluster counts bounds how much the online method loses.
+//
+// Complexity is O(n² log n); intended for study-sized populations.
+
+// AgglomerativeResult describes the final clustering.
+type AgglomerativeResult struct {
+	// Assignment maps vector index -> cluster id (0..Clusters-1, compact).
+	Assignment []int
+	// Sizes per cluster id.
+	Sizes []int
+	// Merges is the number of merge steps performed.
+	Merges int
+}
+
+// pairItem is a candidate merge in the priority queue.
+type pairItem struct {
+	dist int
+	a, b int // vector indices whose clusters may merge
+}
+
+type pairHeap []pairItem
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairItem)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Agglomerative clusters vectors (all the same length) with single linkage,
+// stopping when the smallest inter-cluster distance is >= stop. It panics
+// on mixed-length input, mirroring KMeans.
+func Agglomerative(vectors []flow.Vector, stop int) *AgglomerativeResult {
+	n := len(vectors)
+	res := &AgglomerativeResult{}
+	if n == 0 {
+		return res
+	}
+	dim := len(vectors[0])
+	for _, v := range vectors {
+		if len(v) != dim {
+			panic("cluster: Agglomerative over mixed-length vectors")
+		}
+	}
+
+	// Union-find over vector indices.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	h := &pairHeap{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := flow.Distance(vectors[i], vectors[j])
+			if d < stop {
+				*h = append(*h, pairItem{dist: d, a: i, b: j})
+			}
+		}
+	}
+	heap.Init(h)
+
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pairItem)
+		ra, rb := find(it.a), find(it.b)
+		if ra == rb {
+			continue
+		}
+		// Single linkage: any qualifying pair merges its clusters.
+		parent[ra] = rb
+		res.Merges++
+	}
+
+	// Compact cluster ids.
+	idOf := map[int]int{}
+	res.Assignment = make([]int, n)
+	for i := 0; i < n; i++ {
+		root := find(i)
+		id, ok := idOf[root]
+		if !ok {
+			id = len(idOf)
+			idOf[root] = id
+			res.Sizes = append(res.Sizes, 0)
+		}
+		res.Assignment[i] = id
+		res.Sizes[id]++
+	}
+	return res
+}
+
+// Clusters returns the number of clusters.
+func (r *AgglomerativeResult) Clusters() int { return len(r.Sizes) }

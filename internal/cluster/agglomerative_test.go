@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowzip/internal/flow"
+)
+
+func TestAgglomerativeObviousGroups(t *testing.T) {
+	var vectors []flow.Vector
+	for i := 0; i < 20; i++ {
+		vectors = append(vectors, flow.Vector{25, 37, 41})              // group A
+		vectors = append(vectors, flow.Vector{70, 70, 70})              // group B
+		vectors = append(vectors, flow.Vector{25, 37, 42 + uint8(i%2)}) // near A
+	}
+	res := Agglomerative(vectors, 5)
+	if res.Clusters() != 2 {
+		t.Fatalf("clusters = %d, want 2 (A with satellites, B)", res.Clusters())
+	}
+	// All group-B vectors share an id distinct from group A.
+	bID := res.Assignment[1]
+	for i, v := range vectors {
+		isB := v[0] == 70
+		if isB != (res.Assignment[i] == bID) {
+			t.Fatalf("vector %d misassigned", i)
+		}
+	}
+}
+
+func TestAgglomerativeStopZero(t *testing.T) {
+	vectors := []flow.Vector{{1, 1}, {1, 1}, {2, 2}}
+	res := Agglomerative(vectors, 0)
+	// stop 0: nothing merges, not even identical vectors (distance 0 < 0 is
+	// false) — mirrors the store's strict-< semantics.
+	if res.Clusters() != 3 {
+		t.Fatalf("clusters = %d, want 3", res.Clusters())
+	}
+	// stop 1 merges the identical pair only.
+	res = Agglomerative(vectors, 1)
+	if res.Clusters() != 2 {
+		t.Fatalf("clusters = %d, want 2", res.Clusters())
+	}
+}
+
+func TestAgglomerativeChaining(t *testing.T) {
+	// Single linkage chains: a-b close, b-c close, a-c far -> one cluster.
+	vectors := []flow.Vector{{10}, {12}, {14}}
+	res := Agglomerative(vectors, 3)
+	if res.Clusters() != 1 {
+		t.Fatalf("chaining failed: %d clusters", res.Clusters())
+	}
+}
+
+func TestAgglomerativeEmptyAndPanic(t *testing.T) {
+	if res := Agglomerative(nil, 5); res.Clusters() != 0 {
+		t.Fatal("empty input must yield no clusters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mixed lengths")
+		}
+	}()
+	Agglomerative([]flow.Vector{{1}, {1, 2}}, 5)
+}
+
+// Property: the online threshold store never produces FEWER clusters than
+// order-independent single-linkage at the same threshold (single-linkage
+// chaining merges everything the online method can and more).
+func TestQuickStoreVsAgglomerative(t *testing.T) {
+	f := func(raw [][4]uint8) bool {
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		var vectors []flow.Vector
+		for _, r := range raw {
+			vectors = append(vectors, flow.Vector(r[:]))
+		}
+		if len(vectors) == 0 {
+			return true
+		}
+		stop := flow.DistanceLimit(4)
+		agg := Agglomerative(vectors, stop)
+		s := NewStore()
+		for _, v := range vectors {
+			s.Match(v)
+		}
+		return agg.Clusters() <= s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: assignments are a valid partition (sizes sum to n, ids compact).
+func TestQuickAgglomerativePartition(t *testing.T) {
+	f := func(raw [][3]uint8, stopRaw uint8) bool {
+		var vectors []flow.Vector
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		for _, r := range raw {
+			vectors = append(vectors, flow.Vector(r[:]))
+		}
+		res := Agglomerative(vectors, int(stopRaw%20))
+		total := 0
+		for _, sz := range res.Sizes {
+			if sz <= 0 {
+				return false
+			}
+			total += sz
+		}
+		if total != len(vectors) {
+			return false
+		}
+		for _, id := range res.Assignment {
+			if id < 0 || id >= res.Clusters() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"math"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/stats"
+)
+
+// The Section 2.1 diversity study applies generic clustering to the F
+// vectors of same-length flows. This file provides k-means (on the integer
+// vectors embedded in R^n) and a quality metric, enough to reproduce the
+// paper's observation that "Web flows are not very different from each
+// other" — most mass concentrates in very few clusters.
+
+// KMeansResult describes a clustering of same-length vectors.
+type KMeansResult struct {
+	Centers    [][]float64
+	Assignment []int // vector index -> center index
+	Sizes      []int
+	Iterations int
+	// Inertia is the summed squared distance of vectors to their center.
+	Inertia float64
+}
+
+// KMeans clusters vectors (all of the same length) into k groups using
+// Lloyd's algorithm with deterministic k-means++-style seeding driven by rng.
+// It panics if vectors have mixed lengths; it returns a degenerate result if
+// len(vectors) < k (each vector its own cluster).
+func KMeans(vectors []flow.Vector, k int, rng *stats.RNG, maxIter int) *KMeansResult {
+	n := len(vectors)
+	if n == 0 || k <= 0 {
+		return &KMeansResult{}
+	}
+	dim := len(vectors[0])
+	for _, v := range vectors {
+		if len(v) != dim {
+			panic("cluster: KMeans over mixed-length vectors")
+		}
+	}
+	if k > n {
+		k = n
+	}
+	pts := make([][]float64, n)
+	for i, v := range vectors {
+		p := make([]float64, dim)
+		for j, x := range v {
+			p[j] = float64(x)
+		}
+		pts[i] = p
+	}
+
+	centers := seedPlusPlus(pts, k, rng)
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			sizes[best]++
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers; empty clusters keep their previous position.
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, p := range pts {
+			c := assign[i]
+			for j, x := range p {
+				next[c][j] += x
+			}
+		}
+		for c := range next {
+			if sizes[c] == 0 {
+				copy(next[c], centers[c])
+				continue
+			}
+			for j := range next[c] {
+				next[c][j] /= float64(sizes[c])
+			}
+		}
+		centers = next
+	}
+	res.Centers = centers
+	res.Assignment = assign
+	res.Sizes = sizes
+	for i, p := range pts {
+		res.Inertia += sqDist(p, centers[assign[i]])
+	}
+	return res
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// seedPlusPlus picks k initial centers: the first uniformly, the rest with
+// probability proportional to squared distance from the chosen set.
+func seedPlusPlus(pts [][]float64, k int, rng *stats.RNG) [][]float64 {
+	centers := make([][]float64, 0, k)
+	first := append([]float64(nil), pts[rng.Intn(len(pts))]...)
+	centers = append(centers, first)
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		total := 0.0
+		for i, p := range pts {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(len(pts))
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			idx = len(pts) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= u {
+					idx = i
+					break
+				}
+			}
+		}
+		centers = append(centers, append([]float64(nil), pts[idx]...))
+	}
+	return centers
+}
+
+// DiversityReport summarizes how concentrated a set of same-length flow
+// vectors is — the paper's §2.1 conclusion is that a few clusters capture
+// almost all Web flows.
+type DiversityReport struct {
+	Flows          int
+	Clusters       int     // templates created by threshold clustering
+	TopShare       float64 // share of flows in the single largest cluster
+	Top5Share      float64 // share in the 5 largest clusters
+	FlowsPerCenter float64 // Flows / Clusters
+}
+
+// Diversity clusters the vectors with the paper's threshold method and
+// reports concentration statistics.
+func Diversity(vectors []flow.Vector) DiversityReport {
+	s := NewStore()
+	for _, v := range vectors {
+		s.Match(v)
+	}
+	rep := DiversityReport{Flows: len(vectors), Clusters: s.Len()}
+	if s.Len() == 0 {
+		return rep
+	}
+	sizes := make([]int, 0, s.Len())
+	for _, t := range s.Templates() {
+		sizes = append(sizes, t.Members)
+	}
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j] > sizes[j-1]; j-- {
+			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
+		}
+	}
+	top := 0
+	for i, sz := range sizes {
+		if i < 5 {
+			top += sz
+		}
+		if i == 0 {
+			rep.TopShare = float64(sz) / float64(len(vectors))
+		}
+	}
+	rep.Top5Share = float64(top) / float64(len(vectors))
+	rep.FlowsPerCenter = float64(len(vectors)) / float64(s.Len())
+	return rep
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/stats"
+)
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	rng := stats.NewRNG(1)
+	var vectors []flow.Vector
+	// Two tight groups around (20,20,20) and (70,70,70).
+	for i := 0; i < 50; i++ {
+		a := uint8(20 + i%3)
+		b := uint8(70 + i%3)
+		vectors = append(vectors, flow.Vector{a, a, a}, flow.Vector{b, b, b})
+	}
+	res := KMeans(vectors, 2, rng, 100)
+	if len(res.Sizes) != 2 {
+		t.Fatalf("sizes = %v", res.Sizes)
+	}
+	if res.Sizes[0] != 50 || res.Sizes[1] != 50 {
+		t.Fatalf("cluster sizes = %v, want [50 50]", res.Sizes)
+	}
+	// Members of each group share an assignment.
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Fatal("the two groups must split")
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	rng := stats.NewRNG(2)
+	var vectors []flow.Vector
+	for i := 0; i < 90; i++ {
+		vectors = append(vectors, flow.Vector{uint8(i % 60), uint8((i * 7) % 60)})
+	}
+	i1 := KMeans(vectors, 1, stats.NewRNG(2), 50).Inertia
+	i5 := KMeans(vectors, 5, rng, 50).Inertia
+	if i5 >= i1 {
+		t.Fatalf("inertia must decrease with k: k1=%v k5=%v", i1, i5)
+	}
+}
+
+func TestKMeansDegenerateCases(t *testing.T) {
+	rng := stats.NewRNG(3)
+	if res := KMeans(nil, 3, rng, 10); res.Centers != nil {
+		t.Fatal("empty input must return empty result")
+	}
+	res := KMeans([]flow.Vector{{1, 2}}, 5, rng, 10)
+	if len(res.Centers) != 1 {
+		t.Fatalf("k>n must clamp: %d centers", len(res.Centers))
+	}
+}
+
+func TestKMeansMixedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KMeans([]flow.Vector{{1}, {1, 2}}, 2, stats.NewRNG(4), 10)
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	var vectors []flow.Vector
+	for i := 0; i < 40; i++ {
+		vectors = append(vectors, flow.Vector{uint8(i), uint8(i * 3 % 80)})
+	}
+	a := KMeans(vectors, 4, stats.NewRNG(7), 50)
+	b := KMeans(vectors, 4, stats.NewRNG(7), 50)
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed must give same clustering")
+		}
+	}
+}
+
+func TestDiversityConcentrated(t *testing.T) {
+	// 100 near-identical Web flows plus 2 outliers: expect few clusters and a
+	// dominant top share — the paper's §2.1 observation.
+	var vectors []flow.Vector
+	for i := 0; i < 100; i++ {
+		vectors = append(vectors, flow.Vector{25, 37, 41, 58, 55, 71})
+	}
+	vectors = append(vectors, flow.Vector{75, 75, 75, 75, 75, 75})
+	vectors = append(vectors, flow.Vector{21, 21, 21, 21, 21, 21})
+	rep := Diversity(vectors)
+	if rep.Flows != 102 {
+		t.Fatalf("flows = %d", rep.Flows)
+	}
+	if rep.Clusters != 3 {
+		t.Fatalf("clusters = %d, want 3", rep.Clusters)
+	}
+	if rep.TopShare < 0.9 {
+		t.Fatalf("top share = %v, want > 0.9", rep.TopShare)
+	}
+	if rep.Top5Share != 1 {
+		t.Fatalf("top5 share = %v", rep.Top5Share)
+	}
+}
+
+func TestDiversityEmpty(t *testing.T) {
+	rep := Diversity(nil)
+	if rep.Flows != 0 || rep.Clusters != 0 || rep.TopShare != 0 {
+		t.Fatalf("empty diversity = %+v", rep)
+	}
+}

@@ -1,0 +1,128 @@
+// Package cluster implements the flow-clustering machinery of the paper:
+// the template store the compressor uses to group similar short flows
+// (Section 3) and generic clustering utilities backing the Section 2.1
+// flow-diversity study.
+package cluster
+
+import (
+	"fmt"
+
+	"flowzip/internal/flow"
+)
+
+// Template is one cluster center: an F vector that represents every flow
+// matched to it.
+type Template struct {
+	ID      int
+	Vector  flow.Vector
+	Members int // number of flows matched to this template (including itself)
+}
+
+// Store holds templates bucketed by flow length and answers nearest-template
+// queries under the paper's L1 similarity with threshold d_lim(n).
+//
+// The paper's method only compares flows with identical packet counts, so
+// each length has an independent bucket.
+type Store struct {
+	byLen     map[int][]*Template
+	templates []*Template
+	limit     func(n int) int
+	matches   int64
+	misses    int64
+}
+
+// NewStore builds a store using the paper's threshold d_lim(n) = n.
+func NewStore() *Store { return NewStoreLimit(flow.DistanceLimit) }
+
+// NewStoreLimit builds a store with a custom threshold function, used by the
+// threshold-ablation experiment. limit(n) is the exclusive upper bound on
+// the L1 distance for a match ("difference ... lower than 2% of the maximum
+// inter flow distance").
+func NewStoreLimit(limit func(n int) int) *Store {
+	return &Store{byLen: make(map[int][]*Template), limit: limit}
+}
+
+// Find returns the first template within the distance limit of v, or nil.
+func (s *Store) Find(v flow.Vector) *Template {
+	lim := s.limit(len(v))
+	for _, t := range s.byLen[len(v)] {
+		if flow.Distance(t.Vector, v) < lim {
+			return t
+		}
+	}
+	return nil
+}
+
+// FindNearest returns the closest template of the same length regardless of
+// the limit, with its distance (nil, -1 when the bucket is empty).
+func (s *Store) FindNearest(v flow.Vector) (*Template, int) {
+	var best *Template
+	bestD := -1
+	for _, t := range s.byLen[len(v)] {
+		d := flow.Distance(t.Vector, v)
+		if best == nil || d < bestD {
+			best, bestD = t, d
+		}
+	}
+	return best, bestD
+}
+
+// Match implements the compressor's insert-or-reuse step: it returns the
+// matching template and created=false, or installs v as a new cluster center
+// and returns it with created=true.
+func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
+	if t := s.Find(v); t != nil {
+		t.Members++
+		s.matches++
+		return t, false
+	}
+	t = &Template{ID: len(s.templates), Vector: append(flow.Vector(nil), v...), Members: 1}
+	s.templates = append(s.templates, t)
+	s.byLen[len(v)] = append(s.byLen[len(v)], t)
+	s.misses++
+	return t, true
+}
+
+// Insert installs v as a new template unconditionally (the long-flow path:
+// "for long flows, we do not perform any search").
+func (s *Store) Insert(v flow.Vector) *Template {
+	t := &Template{ID: len(s.templates), Vector: append(flow.Vector(nil), v...), Members: 1}
+	s.templates = append(s.templates, t)
+	s.byLen[len(v)] = append(s.byLen[len(v)], t)
+	return t
+}
+
+// Get returns the template with the given ID.
+func (s *Store) Get(id int) (*Template, error) {
+	if id < 0 || id >= len(s.templates) {
+		return nil, fmt.Errorf("cluster: template %d out of range [0,%d)", id, len(s.templates))
+	}
+	return s.templates[id], nil
+}
+
+// Len returns the number of templates (clusters).
+func (s *Store) Len() int { return len(s.templates) }
+
+// Templates returns all templates in creation order.
+func (s *Store) Templates() []*Template { return s.templates }
+
+// HitRate returns the fraction of Match calls that reused a template.
+func (s *Store) HitRate() float64 {
+	total := s.matches + s.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.matches) / float64(total)
+}
+
+// Stats summarizes store occupancy.
+type Stats struct {
+	Templates int
+	Matched   int64 // flows that reused a template
+	Created   int64 // flows that became new templates
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	return Stats{Templates: len(s.templates), Matched: s.matches, Created: s.misses}
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowzip/internal/flow"
+)
+
+func vec(vals ...uint8) flow.Vector { return flow.Vector(vals) }
+
+func TestMatchCreatesThenReuses(t *testing.T) {
+	s := NewStore()
+	a := vec(25, 37, 41, 58, 55)
+	t1, created := s.Match(a)
+	if !created || t1 == nil {
+		t.Fatal("first match must create")
+	}
+	// Identical vector reuses.
+	t2, created := s.Match(a)
+	if created || t2 != t1 {
+		t.Fatal("identical vector must reuse template")
+	}
+	if t1.Members != 2 {
+		t.Fatalf("members = %d, want 2", t1.Members)
+	}
+}
+
+func TestMatchWithinLimit(t *testing.T) {
+	s := NewStore()
+	// n=5 so d_lim = 5; distance 4 matches, distance 5 does not (strict <).
+	base := vec(25, 37, 41, 58, 55)
+	s.Match(base)
+	near := vec(25, 37, 41, 58, 59) // distance 4
+	if _, created := s.Match(near); created {
+		t.Fatal("distance 4 < 5 must match")
+	}
+	far := vec(25, 37, 41, 58, 60) // distance 5
+	if _, created := s.Match(far); !created {
+		t.Fatal("distance 5 must not match (strict <)")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("templates = %d, want 2", s.Len())
+	}
+}
+
+func TestDifferentLengthsNeverMatch(t *testing.T) {
+	s := NewStore()
+	s.Match(vec(25, 37))
+	if _, created := s.Match(vec(25, 37, 41)); !created {
+		t.Fatal("different length must create a new template")
+	}
+}
+
+func TestInsertUnconditional(t *testing.T) {
+	s := NewStore()
+	v := vec(25, 37, 41)
+	a := s.Insert(v)
+	b := s.Insert(v) // identical, still new (long-flow path)
+	if a.ID == b.ID || s.Len() != 2 {
+		t.Fatal("Insert must always create")
+	}
+}
+
+func TestGet(t *testing.T) {
+	s := NewStore()
+	tpl, _ := s.Match(vec(25, 37))
+	got, err := s.Get(tpl.ID)
+	if err != nil || got != tpl {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	if _, err := s.Get(99); err == nil {
+		t.Fatal("out-of-range Get must error")
+	}
+	if _, err := s.Get(-1); err == nil {
+		t.Fatal("negative Get must error")
+	}
+}
+
+func TestFindNearest(t *testing.T) {
+	s := NewStore()
+	s.Match(vec(20, 20))
+	s.Match(vec(40, 40))
+	tpl, d := s.FindNearest(vec(22, 20))
+	if tpl == nil || d != 2 {
+		t.Fatalf("nearest = %v dist %d", tpl, d)
+	}
+	if tpl2, d2 := s.FindNearest(vec(1, 2, 3)); tpl2 != nil || d2 != -1 {
+		t.Fatal("empty bucket must return nil,-1")
+	}
+}
+
+func TestHitRateAndStats(t *testing.T) {
+	s := NewStore()
+	if s.HitRate() != 0 {
+		t.Fatal("empty store hit rate must be 0")
+	}
+	s.Match(vec(25, 37))
+	s.Match(vec(25, 37))
+	s.Match(vec(75, 75))
+	if hr := s.HitRate(); hr < 0.33 || hr > 0.34 {
+		t.Fatalf("hit rate = %v, want 1/3", hr)
+	}
+	st := s.Stats()
+	if st.Templates != 2 || st.Matched != 1 || st.Created != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCustomLimit(t *testing.T) {
+	s := NewStoreLimit(func(n int) int { return 0 }) // never match
+	s.Match(vec(1, 1))
+	if _, created := s.Match(vec(1, 1)); !created {
+		t.Fatal("limit 0 must never match, even identical vectors")
+	}
+	s2 := NewStoreLimit(func(n int) int { return 1 << 20 }) // always match same length
+	s2.Match(vec(1, 1))
+	if _, created := s2.Match(vec(200, 200)); created {
+		t.Fatal("huge limit must always match same-length vectors")
+	}
+}
+
+// Property: every matched vector is within d_lim of the returned template,
+// and every created template equals its input vector.
+func TestQuickMatchInvariant(t *testing.T) {
+	f := func(raw [][4]uint8) bool {
+		s := NewStore()
+		for _, r := range raw {
+			v := flow.Vector(r[:])
+			tpl, created := s.Match(v)
+			if created {
+				if flow.Distance(tpl.Vector, v) != 0 {
+					return false
+				}
+			} else if flow.Distance(tpl.Vector, v) >= flow.DistanceLimit(len(v)) {
+				return false
+			}
+		}
+		// Members add up to the number of inserted vectors.
+		total := 0
+		for _, tpl := range s.Templates() {
+			total += tpl.Members
+		}
+		return total == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: templates of one length bucket are pairwise >= d_lim apart.
+// (Each new center was only created because no existing center was within
+// the limit.)
+func TestQuickCentersSeparated(t *testing.T) {
+	f := func(raw [][6]uint8) bool {
+		s := NewStore()
+		for _, r := range raw {
+			s.Match(flow.Vector(r[:]))
+		}
+		tpls := s.Templates()
+		for i := 0; i < len(tpls); i++ {
+			for j := i + 1; j < len(tpls); j++ {
+				a, b := tpls[i].Vector, tpls[j].Vector
+				if len(a) != len(b) {
+					continue
+				}
+				if flow.Distance(a, b) < flow.DistanceLimit(len(a)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

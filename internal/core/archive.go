@@ -1,0 +1,415 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
+)
+
+// Archive is the in-memory form of a compressed trace: the paper's four
+// datasets plus bookkeeping metadata.
+type Archive struct {
+	// ShortTemplates is the short-flows-template dataset: each entry stores
+	// the packet count implicitly (vector length) and the F values.
+	ShortTemplates []flow.Vector
+	// LongTemplates is the long-flows-template dataset: F values plus the
+	// n-1 inter-packet gaps.
+	LongTemplates []LongTemplate
+	// Addresses is the address dataset: unique destination (server) IPs in
+	// first-seen order.
+	Addresses []pkt.IPv4
+	// TimeSeq is the time-seq dataset, sorted by FirstTS.
+	TimeSeq []TimeSeqRecord
+
+	// Opts records the codec parameters the archive was produced with; the
+	// decompressor reuses them.
+	Opts Options
+
+	// SourcePackets and SourceTSHBytes describe the original trace, kept for
+	// ratio reporting.
+	SourcePackets  int64
+	SourceTSHBytes int64
+}
+
+// LongTemplate is one long-flow entry: per-packet characterization values
+// and the measured inter-packet times ("the inter packet time is stored in
+// the long-flows-template dataset").
+type LongTemplate struct {
+	F    flow.Vector
+	Gaps []time.Duration // len(F)-1 entries
+}
+
+// TimeSeqRecord is one flow's entry in the time-seq dataset.
+type TimeSeqRecord struct {
+	// FirstTS is the timestamp of the flow's first packet.
+	FirstTS time.Duration
+	// Long selects the template dataset (false=S, true=L).
+	Long bool
+	// Template indexes into the selected template dataset.
+	Template uint32
+	// RTT is the flow round-trip estimate; meaningful for short flows only
+	// ("for long flows, the field RTT ... is not filled").
+	RTT time.Duration
+	// Addr indexes the address dataset (the flow's server address).
+	Addr uint32
+}
+
+// Flows returns the number of flows in the archive.
+func (a *Archive) Flows() int { return len(a.TimeSeq) }
+
+// Packets returns the number of packets the archive decodes to.
+func (a *Archive) Packets() int {
+	n := 0
+	for i := range a.TimeSeq {
+		r := &a.TimeSeq[i]
+		if r.Long {
+			n += len(a.LongTemplates[r.Template].F)
+		} else {
+			n += len(a.ShortTemplates[r.Template])
+		}
+	}
+	return n
+}
+
+// Validate checks referential integrity of the datasets.
+func (a *Archive) Validate() error {
+	for i := range a.TimeSeq {
+		r := &a.TimeSeq[i]
+		if r.Long {
+			if int(r.Template) >= len(a.LongTemplates) {
+				return fmt.Errorf("core: time-seq %d references long template %d of %d",
+					i, r.Template, len(a.LongTemplates))
+			}
+		} else if int(r.Template) >= len(a.ShortTemplates) {
+			return fmt.Errorf("core: time-seq %d references short template %d of %d",
+				i, r.Template, len(a.ShortTemplates))
+		}
+		if int(r.Addr) >= len(a.Addresses) {
+			return fmt.Errorf("core: time-seq %d references address %d of %d",
+				i, r.Addr, len(a.Addresses))
+		}
+	}
+	for i, t := range a.LongTemplates {
+		if len(t.Gaps) != len(t.F)-1 {
+			return fmt.Errorf("core: long template %d has %d gaps for %d packets",
+				i, len(t.Gaps), len(t.F))
+		}
+	}
+	return nil
+}
+
+// SectionSizes reports encoded bytes per dataset, for the storage breakdown
+// table.
+type SectionSizes struct {
+	Header         int64
+	ShortTemplates int64
+	LongTemplates  int64
+	Addresses      int64
+	TimeSeq        int64
+}
+
+// Total sums all sections.
+func (s SectionSizes) Total() int64 {
+	return s.Header + s.ShortTemplates + s.LongTemplates + s.Addresses + s.TimeSeq
+}
+
+// Binary container format:
+//
+//	magic "FZT1", version 1 (5 bytes)
+//	varint: w1, w2, w3, shortMax, limitPct*100
+//	varint: sourcePackets, sourceTSHBytes
+//	varint: #short, then per template: varint n + n f-bytes
+//	varint: #long, then per template: varint n + n f-bytes + (n-1) varint µs gaps
+//	varint: #addr, then 4 bytes each (big endian)
+//	varint: #timeseq, then per record (sorted by FirstTS):
+//	        varint µs delta from previous record
+//	        varint tag: template<<1 | long
+//	        varint rtt µs (short flows; 0 for long)
+//	        varint addr index
+var (
+	magic = [4]byte{'F', 'Z', 'T', '1'}
+	// ErrBadArchive reports a stream that is not a flowzip archive.
+	ErrBadArchive = errors.New("core: not a flowzip archive")
+)
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Encode writes the archive and returns the per-section byte counts.
+func (a *Archive) Encode(w io.Writer) (SectionSizes, error) {
+	var sizes SectionSizes
+	if err := a.Validate(); err != nil {
+		return sizes, err
+	}
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	flushSection := func(dst *int64) error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		*dst, cw.n = cw.n, 0
+		return nil
+	}
+
+	// Header.
+	if _, err := bw.Write(magic[:]); err != nil {
+		return sizes, err
+	}
+	if err := bw.WriteByte(1); err != nil {
+		return sizes, err
+	}
+	for _, v := range []uint64{
+		uint64(a.Opts.Weights.Flag), uint64(a.Opts.Weights.Dep), uint64(a.Opts.Weights.Size),
+		uint64(a.Opts.ShortMax), uint64(a.Opts.LimitPct * 100),
+		uint64(a.SourcePackets), uint64(a.SourceTSHBytes),
+	} {
+		if err := writeUvarint(v); err != nil {
+			return sizes, err
+		}
+	}
+	if err := flushSection(&sizes.Header); err != nil {
+		return sizes, err
+	}
+
+	// Short templates.
+	if err := writeUvarint(uint64(len(a.ShortTemplates))); err != nil {
+		return sizes, err
+	}
+	for _, t := range a.ShortTemplates {
+		if err := writeUvarint(uint64(len(t))); err != nil {
+			return sizes, err
+		}
+		if _, err := bw.Write(t); err != nil {
+			return sizes, err
+		}
+	}
+	if err := flushSection(&sizes.ShortTemplates); err != nil {
+		return sizes, err
+	}
+
+	// Long templates.
+	if err := writeUvarint(uint64(len(a.LongTemplates))); err != nil {
+		return sizes, err
+	}
+	for _, t := range a.LongTemplates {
+		if err := writeUvarint(uint64(len(t.F))); err != nil {
+			return sizes, err
+		}
+		if _, err := bw.Write(t.F); err != nil {
+			return sizes, err
+		}
+		for _, g := range t.Gaps {
+			if err := writeUvarint(uint64(g / time.Microsecond)); err != nil {
+				return sizes, err
+			}
+		}
+	}
+	if err := flushSection(&sizes.LongTemplates); err != nil {
+		return sizes, err
+	}
+
+	// Addresses.
+	if err := writeUvarint(uint64(len(a.Addresses))); err != nil {
+		return sizes, err
+	}
+	var addr [4]byte
+	for _, ip := range a.Addresses {
+		binary.BigEndian.PutUint32(addr[:], uint32(ip))
+		if _, err := bw.Write(addr[:]); err != nil {
+			return sizes, err
+		}
+	}
+	if err := flushSection(&sizes.Addresses); err != nil {
+		return sizes, err
+	}
+
+	// Time-seq, delta encoded over sorted timestamps.
+	recs := append([]TimeSeqRecord(nil), a.TimeSeq...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].FirstTS < recs[j].FirstTS })
+	if err := writeUvarint(uint64(len(recs))); err != nil {
+		return sizes, err
+	}
+	prevUS := int64(0)
+	for _, r := range recs {
+		us := int64(r.FirstTS / time.Microsecond)
+		delta := us - prevUS
+		if delta < 0 {
+			delta = 0
+		}
+		prevUS += delta
+		if err := writeUvarint(uint64(delta)); err != nil {
+			return sizes, err
+		}
+		tag := uint64(r.Template) << 1
+		if r.Long {
+			tag |= 1
+		}
+		if err := writeUvarint(tag); err != nil {
+			return sizes, err
+		}
+		rtt := r.RTT
+		if r.Long {
+			rtt = 0
+		}
+		if err := writeUvarint(uint64(rtt / time.Microsecond)); err != nil {
+			return sizes, err
+		}
+		if err := writeUvarint(uint64(r.Addr)); err != nil {
+			return sizes, err
+		}
+	}
+	if err := flushSection(&sizes.TimeSeq); err != nil {
+		return sizes, err
+	}
+	return sizes, nil
+}
+
+// EncodedSize returns the total encoded byte count without keeping the
+// bytes.
+func (a *Archive) EncodedSize() (int64, error) {
+	sizes, err := a.Encode(io.Discard)
+	if err != nil {
+		return 0, err
+	}
+	return sizes.Total(), nil
+}
+
+// Decode parses an archive from r.
+func Decode(r io.Reader) (*Archive, error) {
+	br := bufio.NewReader(r)
+	var m [5]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
+	if m[0] != magic[0] || m[1] != magic[1] || m[2] != magic[2] || m[3] != magic[3] {
+		return nil, ErrBadArchive
+	}
+	if m[4] != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadArchive, m[4])
+	}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+
+	a := &Archive{Opts: DefaultOptions()}
+	hdr := make([]uint64, 7)
+	for i := range hdr {
+		v, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("core: decode header: %w", err)
+		}
+		hdr[i] = v
+	}
+	a.Opts.Weights = flow.Weights{Flag: int(hdr[0]), Dep: int(hdr[1]), Size: int(hdr[2])}
+	a.Opts.ShortMax = int(hdr[3])
+	a.Opts.LimitPct = float64(hdr[4]) / 100
+	a.SourcePackets = int64(hdr[5])
+	a.SourceTSHBytes = int64(hdr[6])
+
+	nShort, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode short count: %w", err)
+	}
+	const maxCount = 1 << 28 // sanity bound against corrupt streams
+	if nShort > maxCount {
+		return nil, fmt.Errorf("%w: short template count %d", ErrBadArchive, nShort)
+	}
+	a.ShortTemplates = make([]flow.Vector, nShort)
+	for i := range a.ShortTemplates {
+		n, err := read()
+		if err != nil || n > maxCount {
+			return nil, fmt.Errorf("core: decode short template %d: %v", i, err)
+		}
+		v := make(flow.Vector, n)
+		if _, err := io.ReadFull(br, v); err != nil {
+			return nil, fmt.Errorf("core: decode short template %d: %w", i, err)
+		}
+		a.ShortTemplates[i] = v
+	}
+
+	nLong, err := read()
+	if err != nil || nLong > maxCount {
+		return nil, fmt.Errorf("core: decode long count: %v", err)
+	}
+	a.LongTemplates = make([]LongTemplate, nLong)
+	for i := range a.LongTemplates {
+		n, err := read()
+		if err != nil || n == 0 || n > maxCount {
+			return nil, fmt.Errorf("core: decode long template %d: %v", i, err)
+		}
+		v := make(flow.Vector, n)
+		if _, err := io.ReadFull(br, v); err != nil {
+			return nil, fmt.Errorf("core: decode long template %d: %w", i, err)
+		}
+		gaps := make([]time.Duration, n-1)
+		for g := range gaps {
+			us, err := read()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode long template %d gap %d: %w", i, g, err)
+			}
+			gaps[g] = time.Duration(us) * time.Microsecond
+		}
+		a.LongTemplates[i] = LongTemplate{F: v, Gaps: gaps}
+	}
+
+	nAddr, err := read()
+	if err != nil || nAddr > maxCount {
+		return nil, fmt.Errorf("core: decode address count: %v", err)
+	}
+	a.Addresses = make([]pkt.IPv4, nAddr)
+	var ab [4]byte
+	for i := range a.Addresses {
+		if _, err := io.ReadFull(br, ab[:]); err != nil {
+			return nil, fmt.Errorf("core: decode address %d: %w", i, err)
+		}
+		a.Addresses[i] = pkt.IPv4(binary.BigEndian.Uint32(ab[:]))
+	}
+
+	nRec, err := read()
+	if err != nil || nRec > maxCount {
+		return nil, fmt.Errorf("core: decode time-seq count: %v", err)
+	}
+	a.TimeSeq = make([]TimeSeqRecord, nRec)
+	prev := time.Duration(0)
+	for i := range a.TimeSeq {
+		vals := make([]uint64, 4)
+		for j := range vals {
+			v, err := read()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode time-seq %d: %w", i, err)
+			}
+			vals[j] = v
+		}
+		prev += time.Duration(vals[0]) * time.Microsecond
+		a.TimeSeq[i] = TimeSeqRecord{
+			FirstTS:  prev,
+			Long:     vals[1]&1 == 1,
+			Template: uint32(vals[1] >> 1),
+			RTT:      time.Duration(vals[2]) * time.Microsecond,
+			Addr:     uint32(vals[3]),
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

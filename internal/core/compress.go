@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"flowzip/internal/cluster"
+	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+	"flowzip/internal/tsh"
+)
+
+// Compressor consumes packets in timestamp order and produces an Archive.
+// It implements the paper's Section 3 pipeline: the flow table keyed by the
+// 5-tuple hash, template matching for short flows on FIN/RST, unconditional
+// template creation for long flows.
+type Compressor struct {
+	opts    Options
+	table   *flow.Table
+	store   *cluster.Store
+	long    []LongTemplate
+	addrs   []pkt.IPv4
+	addrIdx map[pkt.IPv4]uint32
+	timeSeq []TimeSeqRecord
+	stats   CompressStats
+	packets int64
+}
+
+// CompressStats counts compressor activity for reporting.
+type CompressStats struct {
+	Packets        int64
+	Flows          int64
+	ShortFlows     int64
+	LongFlows      int64
+	ShortTemplates int64 // clusters created
+	ShortMatched   int64 // flows that reused a cluster
+	Addresses      int64
+}
+
+// NewCompressor validates opts and returns a streaming compressor.
+func NewCompressor(opts Options) (*Compressor, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compressor{
+		opts:    opts,
+		store:   cluster.NewStoreLimit(opts.limit()),
+		addrIdx: make(map[pkt.IPv4]uint32),
+	}
+	c.table = flow.NewTable(c.finalizeFlow)
+	return c, nil
+}
+
+// Add feeds one packet. Packets must arrive in timestamp order.
+func (c *Compressor) Add(p *pkt.Packet) {
+	c.packets++
+	c.table.Add(p)
+}
+
+// finalizeFlow converts a finished flow into dataset entries.
+func (c *Compressor) finalizeFlow(f *flow.Flow) {
+	v := f.Vector(c.opts.Weights)
+	c.stats.Flows++
+
+	rec := TimeSeqRecord{
+		FirstTS: f.FirstTimestamp(),
+		Addr:    c.addrIndex(f.ServerIP),
+	}
+	if f.Len() <= c.opts.ShortMax {
+		// Short flow: search for an identical-or-similar template.
+		tpl, created := c.store.Match(v)
+		if created {
+			c.stats.ShortTemplates++
+		} else {
+			c.stats.ShortMatched++
+		}
+		rec.Template = uint32(tpl.ID)
+		rec.RTT = f.EstimateRTT()
+		c.stats.ShortFlows++
+	} else {
+		// Long flow: always a fresh template with measured gaps.
+		rec.Long = true
+		rec.Template = uint32(len(c.long))
+		c.long = append(c.long, LongTemplate{
+			F:    append(flow.Vector(nil), v...),
+			Gaps: f.InterPacketTimes(),
+		})
+		c.stats.LongFlows++
+	}
+	c.timeSeq = append(c.timeSeq, rec)
+}
+
+func (c *Compressor) addrIndex(ip pkt.IPv4) uint32 {
+	if idx, ok := c.addrIdx[ip]; ok {
+		return idx
+	}
+	idx := uint32(len(c.addrs))
+	c.addrs = append(c.addrs, ip)
+	c.addrIdx[ip] = idx
+	c.stats.Addresses++
+	return idx
+}
+
+// Finish flushes open flows and assembles the archive. The compressor must
+// not be used afterwards.
+func (c *Compressor) Finish() *Archive {
+	c.table.Flush()
+	c.stats.Packets = c.packets
+
+	// The short-template store returns templates in creation order, so the
+	// time-seq template indices are already correct.
+	shorts := make([]flow.Vector, c.store.Len())
+	for i, t := range c.store.Templates() {
+		shorts[i] = t.Vector
+	}
+	recs := append([]TimeSeqRecord(nil), c.timeSeq...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].FirstTS < recs[j].FirstTS })
+
+	return &Archive{
+		ShortTemplates: shorts,
+		LongTemplates:  c.long,
+		Addresses:      c.addrs,
+		TimeSeq:        recs,
+		Opts:           c.opts,
+		SourcePackets:  c.packets,
+		SourceTSHBytes: tsh.Size(int(c.packets)),
+	}
+}
+
+// Stats returns the counters accumulated so far.
+func (c *Compressor) Stats() CompressStats { return c.stats }
+
+// Compress runs the whole pipeline over a trace.
+func Compress(tr *trace.Trace, opts Options) (*Archive, error) {
+	if !tr.IsSorted() {
+		return nil, fmt.Errorf("core: trace %q is not timestamp sorted", tr.Name)
+	}
+	c, err := NewCompressor(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range tr.Packets {
+		c.Add(&tr.Packets[i])
+	}
+	return c.Finish(), nil
+}
+
+// Ratio returns the archive's compression ratio against the original TSH
+// file size (encoded bytes / original bytes).
+func (a *Archive) Ratio() (float64, error) {
+	if a.SourceTSHBytes == 0 {
+		return 0, fmt.Errorf("core: archive has no source size recorded")
+	}
+	sz, err := a.EncodedSize()
+	if err != nil {
+		return 0, err
+	}
+	return float64(sz) / float64(a.SourceTSHBytes), nil
+}

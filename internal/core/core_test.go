@@ -1,0 +1,432 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/flowgen"
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+)
+
+func webTrace(seed uint64, flows int) *trace.Trace {
+	cfg := flowgen.DefaultWebConfig()
+	cfg.Seed = seed
+	cfg.Flows = flows
+	cfg.Duration = 20 * time.Second
+	return flowgen.Web(cfg)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := DefaultOptions()
+	bad.ShortMax = 1
+	if bad.Validate() == nil {
+		t.Fatal("ShortMax 1 must be invalid")
+	}
+	bad = DefaultOptions()
+	bad.Weights = flow.Weights{Flag: 100, Dep: 4, Size: 1}
+	if bad.Validate() == nil {
+		t.Fatal("overflowing weights must be invalid")
+	}
+	bad = DefaultOptions()
+	bad.LimitPct = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative limit must be invalid")
+	}
+	bad = DefaultOptions()
+	bad.SmallPayload = 500
+	bad.LargePayload = 100
+	if bad.Validate() == nil {
+		t.Fatal("inverted payload sizes must be invalid")
+	}
+}
+
+func TestCompressBasics(t *testing.T) {
+	tr := webTrace(1, 500)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Flows() == 0 {
+		t.Fatal("no flows compressed")
+	}
+	if a.Packets() != tr.Len() {
+		t.Fatalf("archive packets = %d, trace packets = %d", a.Packets(), tr.Len())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("archive invalid: %v", err)
+	}
+	st := a.Opts
+	if st.ShortMax != 50 {
+		t.Fatal("options not recorded")
+	}
+}
+
+func TestCompressRejectsUnsorted(t *testing.T) {
+	tr := webTrace(2, 50)
+	if tr.Len() < 2 {
+		t.Skip("trace too small")
+	}
+	tr.Packets[0].Timestamp = tr.Packets[tr.Len()-1].Timestamp + time.Second
+	if _, err := Compress(tr, DefaultOptions()); err == nil {
+		t.Fatal("unsorted trace must be rejected")
+	}
+}
+
+func TestClusteringReducesTemplates(t *testing.T) {
+	tr := webTrace(3, 2000)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortFlows := 0
+	for _, r := range a.TimeSeq {
+		if !r.Long {
+			shortFlows++
+		}
+	}
+	// The paper's core observation: many flows share few templates.
+	if len(a.ShortTemplates) >= shortFlows/2 {
+		t.Fatalf("clustering ineffective: %d templates for %d short flows",
+			len(a.ShortTemplates), shortFlows)
+	}
+}
+
+func TestCompressionRatioNearPaper(t *testing.T) {
+	tr := webTrace(4, 5000)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := a.Ratio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper claims ~3%; synthetic traces land in the same regime. Anything
+	// under 10% preserves the headline (an order of magnitude under VJ's
+	// ~30%), anything under 1% would be suspicious.
+	if ratio > 0.10 {
+		t.Fatalf("compression ratio %.4f, want < 0.10", ratio)
+	}
+	if ratio <= 0.001 {
+		t.Fatalf("compression ratio %.5f implausibly small", ratio)
+	}
+}
+
+func TestShortLongSplit(t *testing.T) {
+	tr := webTrace(5, 3000)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range a.TimeSeq {
+		if r.Long {
+			n := len(a.LongTemplates[r.Template].F)
+			if n <= 50 {
+				t.Fatalf("time-seq %d: long template with %d packets", i, n)
+			}
+			if r.RTT != 0 {
+				// Encoded archives zero long-flow RTTs; in-memory ones may
+				// carry estimates but the paper says the field is not filled.
+				t.Logf("long flow %d carries RTT %v (ignored)", i, r.RTT)
+			}
+		} else {
+			n := len(a.ShortTemplates[r.Template])
+			if n > 50 {
+				t.Fatalf("time-seq %d: short template with %d packets", i, n)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := webTrace(6, 800)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sizes, err := a.Encode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes.Total() != int64(buf.Len()) {
+		t.Fatalf("section sizes %d != stream size %d", sizes.Total(), buf.Len())
+	}
+	b, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ShortTemplates) != len(a.ShortTemplates) ||
+		len(b.LongTemplates) != len(a.LongTemplates) ||
+		len(b.Addresses) != len(a.Addresses) ||
+		len(b.TimeSeq) != len(a.TimeSeq) {
+		t.Fatal("dataset sizes changed through encode/decode")
+	}
+	for i := range a.ShortTemplates {
+		if flow.Distance(a.ShortTemplates[i], b.ShortTemplates[i]) != 0 {
+			t.Fatalf("short template %d changed", i)
+		}
+	}
+	for i := range a.Addresses {
+		if a.Addresses[i] != b.Addresses[i] {
+			t.Fatalf("address %d changed", i)
+		}
+	}
+	for i := range a.TimeSeq {
+		ra, rb := a.TimeSeq[i], b.TimeSeq[i]
+		// Timestamps quantize to µs; RTT of long flows is dropped.
+		if ra.Long != rb.Long || ra.Template != rb.Template || ra.Addr != rb.Addr {
+			t.Fatalf("time-seq %d changed: %+v vs %+v", i, ra, rb)
+		}
+		if d := ra.FirstTS - rb.FirstTS; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("time-seq %d timestamp drift %v", i, d)
+		}
+		if !ra.Long {
+			if d := ra.RTT - rb.RTT; d < -time.Microsecond || d > time.Microsecond {
+				t.Fatalf("time-seq %d RTT drift %v", i, d)
+			}
+		}
+	}
+	if b.SourcePackets != a.SourcePackets || b.SourceTSHBytes != a.SourceTSHBytes {
+		t.Fatal("source metadata changed")
+	}
+	if b.Opts.Weights != a.Opts.Weights || b.Opts.ShortMax != a.Opts.ShortMax {
+		t.Fatal("options metadata changed")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not an archive"))); !errors.Is(err, ErrBadArchive) {
+		t.Fatalf("err = %v, want ErrBadArchive", err)
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream must error")
+	}
+	// Truncated valid archive.
+	tr := webTrace(7, 100)
+	a, _ := Compress(tr, DefaultOptions())
+	var buf bytes.Buffer
+	if _, err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Fatal("truncated archive must error")
+	}
+}
+
+func TestArchiveValidateCatchesCorruption(t *testing.T) {
+	tr := webTrace(8, 100)
+	a, _ := Compress(tr, DefaultOptions())
+	bad := *a
+	bad.TimeSeq = append([]TimeSeqRecord(nil), a.TimeSeq...)
+	bad.TimeSeq[0].Template = 1 << 30
+	if bad.Validate() == nil {
+		t.Fatal("dangling template reference must fail validation")
+	}
+	bad2 := *a
+	bad2.TimeSeq = append([]TimeSeqRecord(nil), a.TimeSeq...)
+	bad2.TimeSeq[0].Addr = 1 << 30
+	if bad2.Validate() == nil {
+		t.Fatal("dangling address reference must fail validation")
+	}
+}
+
+func TestDecompressPacketAndFlowCounts(t *testing.T) {
+	tr := webTrace(9, 1000)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != tr.Len() {
+		t.Fatalf("decompressed %d packets, original %d", dec.Len(), tr.Len())
+	}
+	origFlows := flow.Assemble(tr.Packets)
+	decFlows := flow.Assemble(dec.Packets)
+	// Flow count is preserved up to rare client-port collisions in the
+	// random regeneration.
+	if len(decFlows) < len(origFlows)*99/100 || len(decFlows) > len(origFlows)*101/100 {
+		t.Fatalf("decompressed %d flows, original %d", len(decFlows), len(origFlows))
+	}
+}
+
+func TestDecompressSorted(t *testing.T) {
+	tr := webTrace(10, 800)
+	a, _ := Compress(tr, DefaultOptions())
+	dec, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.IsSorted() {
+		t.Fatal("decompressed trace must be timestamp sorted")
+	}
+}
+
+func TestDecompressedVectorsWithinLimit(t *testing.T) {
+	// The defining lossy guarantee: every decompressed flow's F vector is
+	// within d_lim of the original flow's vector (it equals the template the
+	// original matched).
+	tr := webTrace(11, 600)
+	a, _ := Compress(tr, DefaultOptions())
+	dec, _ := Decompress(a)
+
+	w := DefaultOptions().Weights
+	count := map[string]int{}
+	for _, f := range flow.Assemble(tr.Packets) {
+		count[string(f.Vector(w))]++
+	}
+	for _, f := range flow.Assemble(dec.Packets) {
+		v := f.Vector(w)
+		// Exact-match templates are common; otherwise some original vector
+		// must be within d_lim of this one.
+		if count[string(v)] > 0 {
+			continue
+		}
+		ok := false
+		for orig := range count {
+			ov := flow.Vector(orig)
+			if len(ov) == len(v) && flow.Distance(ov, v) < flow.DistanceLimit(len(v)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("decompressed vector %v matches no original within d_lim", v)
+		}
+	}
+}
+
+func TestDecompressAddressesAndPorts(t *testing.T) {
+	tr := webTrace(12, 400)
+	a, _ := Compress(tr, DefaultOptions())
+	dec, _ := Decompress(a)
+	servers := map[pkt.IPv4]bool{}
+	for _, ip := range a.Addresses {
+		servers[ip] = true
+	}
+	for i := range dec.Packets {
+		p := &dec.Packets[i]
+		if p.DstPort == 80 {
+			if !servers[p.DstIP] {
+				t.Fatalf("packet to port 80 with unknown server %v", p.DstIP)
+			}
+			if p.SrcPort < 1024 || p.SrcPort > 65000 {
+				t.Fatalf("client port %d outside [1024,65000]", p.SrcPort)
+			}
+			// Source must be class B or C.
+			first := byte(p.SrcIP >> 24)
+			if first < 128 || first > 223 {
+				t.Fatalf("source %v is not class B or C", p.SrcIP)
+			}
+		} else if p.SrcPort != 80 {
+			t.Fatalf("packet with neither port 80: %v", p.Tuple())
+		}
+	}
+}
+
+func TestDecompressDeterministic(t *testing.T) {
+	tr := webTrace(13, 300)
+	a, _ := Compress(tr, DefaultOptions())
+	d1, _ := Decompress(a)
+	// Fresh decompressor over the same archive: same seed, same output.
+	d2, _ := Decompress(a)
+	if d1.Len() != d2.Len() {
+		t.Fatal("decompression not deterministic")
+	}
+	for i := range d1.Packets {
+		if d1.Packets[i] != d2.Packets[i] {
+			t.Fatalf("packet %d differs between runs", i)
+		}
+	}
+}
+
+func TestRecompressionStability(t *testing.T) {
+	// Compressing the decompressed trace must not blow up the template
+	// store: the regenerated flows are exactly the templates.
+	tr := webTrace(14, 800)
+	a, _ := Compress(tr, DefaultOptions())
+	dec, _ := Decompress(a)
+	a2, err := Compress(dec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2.ShortTemplates) > len(a.ShortTemplates) {
+		t.Fatalf("recompression grew templates: %d -> %d",
+			len(a.ShortTemplates), len(a2.ShortTemplates))
+	}
+	if a2.Packets() != a.Packets() {
+		t.Fatalf("recompression changed packets: %d -> %d", a.Packets(), a2.Packets())
+	}
+}
+
+func TestCompressorStats(t *testing.T) {
+	tr := webTrace(15, 500)
+	c, err := NewCompressor(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		c.Add(&tr.Packets[i])
+	}
+	a := c.Finish()
+	st := c.Stats()
+	if st.Packets != int64(tr.Len()) {
+		t.Fatalf("stats packets = %d", st.Packets)
+	}
+	if st.Flows != int64(a.Flows()) {
+		t.Fatalf("stats flows = %d, archive flows = %d", st.Flows, a.Flows())
+	}
+	if st.ShortFlows+st.LongFlows != st.Flows {
+		t.Fatal("short+long != flows")
+	}
+	if st.ShortTemplates+st.ShortMatched != st.ShortFlows {
+		t.Fatal("templates+matched != short flows")
+	}
+	if st.Addresses != int64(len(a.Addresses)) {
+		t.Fatal("address count mismatch")
+	}
+}
+
+func TestRatioRequiresSource(t *testing.T) {
+	a := &Archive{Opts: DefaultOptions()}
+	if _, err := a.Ratio(); err == nil {
+		t.Fatal("ratio without source size must error")
+	}
+}
+
+func TestLongFlowGapsPreserved(t *testing.T) {
+	// Build a trace with one guaranteed long flow and verify gap replay.
+	cfg := flowgen.DefaultWebConfig()
+	cfg.Seed = 16
+	cfg.Flows = 200
+	cfg.Duration = 5 * time.Second
+	tr := flowgen.Web(cfg)
+	a, _ := Compress(tr, DefaultOptions())
+	var long *LongTemplate
+	for i := range a.LongTemplates {
+		long = &a.LongTemplates[i]
+		break
+	}
+	if long == nil {
+		t.Skip("no long flow in this seed")
+	}
+	if len(long.Gaps) != len(long.F)-1 {
+		t.Fatalf("gap count %d for %d packets", len(long.Gaps), len(long.F))
+	}
+	for _, g := range long.Gaps {
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+	}
+}

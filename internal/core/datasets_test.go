@@ -1,0 +1,158 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowzip/internal/flow"
+)
+
+func TestSaveLoadDatasetsRoundTrip(t *testing.T) {
+	tr := webTrace(30, 600)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "archive")
+	if err := a.SaveDatasets(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// All five files exist, as the paper describes four datasets.
+	for _, name := range []string{ManifestFile, ShortTemplateFile, LongTemplateFile, AddressFile, TimeSeqFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("dataset file %s missing: %v", name, err)
+		}
+	}
+
+	b, err := LoadDatasets(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ShortTemplates) != len(a.ShortTemplates) ||
+		len(b.LongTemplates) != len(a.LongTemplates) ||
+		len(b.Addresses) != len(a.Addresses) ||
+		len(b.TimeSeq) != len(a.TimeSeq) {
+		t.Fatal("dataset sizes changed")
+	}
+	for i := range a.ShortTemplates {
+		if flow.Distance(a.ShortTemplates[i], b.ShortTemplates[i]) != 0 {
+			t.Fatalf("short template %d changed", i)
+		}
+	}
+	for i := range a.LongTemplates {
+		if flow.Distance(a.LongTemplates[i].F, b.LongTemplates[i].F) != 0 {
+			t.Fatalf("long template %d changed", i)
+		}
+		for g := range a.LongTemplates[i].Gaps {
+			if a.LongTemplates[i].Gaps[g] != b.LongTemplates[i].Gaps[g] {
+				t.Fatalf("long template %d gap %d changed", i, g)
+			}
+		}
+	}
+	if b.SourcePackets != a.SourcePackets || b.Opts.Weights != a.Opts.Weights {
+		t.Fatal("metadata changed")
+	}
+	// The loaded archive decompresses to the same packet count.
+	dec, err := Decompress(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != tr.Len() {
+		t.Fatalf("decompressed %d packets, want %d", dec.Len(), tr.Len())
+	}
+}
+
+func TestDatasetsEquivalentToContainer(t *testing.T) {
+	// The four-file layout and the single container must decode to
+	// equivalent archives.
+	tr := webTrace(31, 300)
+	a, _ := Compress(tr, DefaultOptions())
+	dir := t.TempDir()
+	if err := a.SaveDatasets(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadDatasets(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Decompress(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.Len() != db.Len() {
+		t.Fatal("container and dataset decompressions differ")
+	}
+	for i := range da.Packets {
+		pa, pb := da.Packets[i], db.Packets[i]
+		// Timestamps quantize identically; everything must match.
+		if pa != pb {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestLoadDatasetsErrors(t *testing.T) {
+	if _, err := LoadDatasets(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing directory must error")
+	}
+
+	// Corrupt manifest.
+	dir := t.TempDir()
+	tr := webTrace(32, 50)
+	a, _ := Compress(tr, DefaultOptions())
+	if err := a.SaveDatasets(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDatasets(dir); err == nil {
+		t.Fatal("corrupt manifest must error")
+	}
+
+	// Missing one dataset file.
+	dir2 := t.TempDir()
+	if err := a.SaveDatasets(dir2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir2, AddressFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDatasets(dir2); err == nil {
+		t.Fatal("missing dataset must error")
+	}
+
+	// Truncated time-seq.
+	dir3 := t.TempDir()
+	if err := a.SaveDatasets(dir3); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir3, TimeSeqFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDatasets(dir3); err == nil {
+		t.Fatal("truncated time-seq must error")
+	}
+}
+
+func TestSaveDatasetsRejectsCorrupt(t *testing.T) {
+	tr := webTrace(33, 50)
+	a, _ := Compress(tr, DefaultOptions())
+	bad := *a
+	bad.TimeSeq = append([]TimeSeqRecord(nil), a.TimeSeq...)
+	bad.TimeSeq[0].Template = 1 << 30
+	if err := bad.SaveDatasets(t.TempDir()); err == nil {
+		t.Fatal("corrupt archive must not save")
+	}
+}

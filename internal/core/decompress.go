@@ -1,0 +1,237 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
+	"flowzip/internal/stats"
+	"flowzip/internal/trace"
+)
+
+// Decompressor regenerates a synthetic trace from an archive (Section 4).
+//
+// Per flow it decodes the template's f values back into flag, dependence and
+// size classes. Direction alternation is the exact inverse of the
+// compressor's dependence classification: the first packet travels
+// client→server, a dependent packet flips direction, a non-dependent packet
+// keeps it. Timing uses the flow RTT for dependent packets and a fixed short
+// gap otherwise (short flows), or the stored gaps (long flows).
+//
+// As in the paper, source addresses are random class B or C, client ports
+// are random in [1024, 65000], the server port is 80 and the destination is
+// the stored server address.
+type Decompressor struct {
+	archive *Archive
+	rng     *stats.RNG
+}
+
+// NewDecompressor wraps an archive for decoding.
+func NewDecompressor(a *Archive) (*Decompressor, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decompressor{archive: a, rng: stats.NewRNG(a.Opts.Seed)}, nil
+}
+
+// flowSpec is the reconstruction recipe for one flow.
+type flowSpec struct {
+	f      flow.Vector
+	gaps   []time.Duration // long flows: explicit gaps; nil for short
+	rtt    time.Duration
+	client pkt.IPv4
+	server pkt.IPv4
+	cport  uint16
+	start  time.Duration
+}
+
+// randomClassBC draws a class B (128.0.0.0/2) or class C (192.0.0.0/3)
+// source address, as the paper specifies.
+func randomClassBC(rng *stats.RNG) pkt.IPv4 {
+	if rng.Bool(0.5) {
+		// Class B: 10xx... → 128..191 in the first octet.
+		return pkt.IPv4(0x80000000 | (rng.Uint32() & 0x3fffffff))
+	}
+	// Class C: 110x... → 192..223 in the first octet.
+	return pkt.IPv4(0xc0000000 | (rng.Uint32() & 0x1fffffff))
+}
+
+func (d *Decompressor) spec(rec *TimeSeqRecord) flowSpec {
+	s := flowSpec{
+		rtt:    rec.RTT,
+		server: d.archive.Addresses[rec.Addr],
+		client: randomClassBC(d.rng),
+		cport:  uint16(d.rng.IntRange(1024, 65000)),
+		start:  rec.FirstTS,
+	}
+	if rec.Long {
+		t := &d.archive.LongTemplates[rec.Template]
+		s.f = t.F
+		s.gaps = t.Gaps
+	} else {
+		s.f = d.archive.ShortTemplates[rec.Template]
+	}
+	if s.rtt <= 0 {
+		s.rtt = d.archive.Opts.NonDepGap
+	}
+	return s
+}
+
+// buildPacket materializes packet i of a spec given the running direction
+// state and clock.
+func (d *Decompressor) buildPacket(s *flowSpec, i int, fromClient bool, ts time.Duration, cSeq, sSeq *uint32) pkt.Packet {
+	w := d.archive.Opts.Weights
+	flagClass, _, sizeClass := w.Decompose(int(s.f[i]))
+
+	var flags pkt.TCPFlags
+	switch flagClass {
+	case flow.FlagClassSYN:
+		flags = pkt.FlagSYN
+	case flow.FlagClassSYNACK:
+		flags = pkt.FlagSYN | pkt.FlagACK
+	case flow.FlagClassTeardown:
+		flags = pkt.FlagFIN | pkt.FlagACK
+	default:
+		flags = pkt.FlagACK
+	}
+	payload := 0
+	switch sizeClass {
+	case flow.SizeClassSmall:
+		payload = d.archive.Opts.SmallPayload
+	case flow.SizeClassLarge:
+		payload = d.archive.Opts.LargePayload
+	}
+	if payload > 0 {
+		flags |= pkt.FlagPSH
+	}
+
+	p := pkt.Packet{
+		Timestamp:  ts,
+		Proto:      pkt.ProtoTCP,
+		Flags:      flags,
+		Window:     65535,
+		PayloadLen: uint16(payload),
+	}
+	if fromClient {
+		p.SrcIP, p.DstIP = s.client, s.server
+		p.SrcPort, p.DstPort = s.cport, 80
+		p.TTL = 64
+		p.Seq, p.Ack = *cSeq, *sSeq
+		*cSeq += uint32(payload)
+		if flags&(pkt.FlagSYN|pkt.FlagFIN) != 0 {
+			*cSeq++
+		}
+	} else {
+		p.SrcIP, p.DstIP = s.server, s.client
+		p.SrcPort, p.DstPort = 80, s.cport
+		p.TTL = 128
+		p.Seq, p.Ack = *sSeq, *cSeq
+		*sSeq += uint32(payload)
+		if flags&(pkt.FlagSYN|pkt.FlagFIN) != 0 {
+			*sSeq++
+		}
+	}
+	return p
+}
+
+// flowCursor iterates one flow's packets lazily for the merge.
+type flowCursor struct {
+	d          *Decompressor
+	spec       flowSpec
+	idx        int
+	ts         time.Duration
+	fromClient bool
+	cSeq, sSeq uint32
+	next       pkt.Packet
+	done       bool
+}
+
+func (d *Decompressor) newCursor(rec *TimeSeqRecord) *flowCursor {
+	c := &flowCursor{d: d, spec: d.spec(rec), ts: rec.FirstTS, fromClient: true}
+	c.advance()
+	return c
+}
+
+// advance computes the next packet (cursor starts before the first packet).
+func (c *flowCursor) advance() {
+	if c.idx >= len(c.spec.f) {
+		c.done = true
+		return
+	}
+	w := c.d.archive.Opts.Weights
+	_, depClass, _ := w.Decompose(int(c.spec.f[c.idx]))
+	if c.idx > 0 {
+		// Direction: dependent packets answer the peer.
+		if depClass == flow.DepDependent {
+			c.fromClient = !c.fromClient
+		}
+		// Clock: long flows replay measured gaps; short flows model
+		// dependent packets as one RTT and others as the fixed gap.
+		if c.spec.gaps != nil {
+			c.ts += c.spec.gaps[c.idx-1]
+		} else if depClass == flow.DepDependent {
+			c.ts += c.spec.rtt
+		} else {
+			c.ts += c.d.archive.Opts.NonDepGap
+		}
+	}
+	c.next = c.d.buildPacket(&c.spec, c.idx, c.fromClient, c.ts, &c.cSeq, &c.sSeq)
+	c.idx++
+}
+
+// cursorHeap orders cursors by next-packet timestamp — the decompression
+// algorithm's sorted linked list, realized as a merge heap.
+type cursorHeap []*flowCursor
+
+func (h cursorHeap) Len() int            { return len(h) }
+func (h cursorHeap) Less(i, j int) bool  { return h[i].next.Timestamp < h[j].next.Timestamp }
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(*flowCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Decompress regenerates the full synthetic trace in timestamp order.
+func (d *Decompressor) Decompress() *trace.Trace {
+	tr := trace.New("decomp")
+	h := &cursorHeap{}
+	// time-seq is sorted by FirstTS; flows still overlap in time, so an
+	// incremental merge bounded by the next record's start time keeps packet
+	// output globally sorted (the paper's "nodes with time stamp less than
+	// the current value are written to the decompressed file").
+	recs := d.archive.TimeSeq
+	for i := range recs {
+		if c := d.newCursor(&recs[i]); !c.done {
+			heap.Push(h, c)
+		}
+		limit := time.Duration(1<<63 - 1)
+		if i+1 < len(recs) {
+			limit = recs[i+1].FirstTS
+		}
+		for h.Len() > 0 && (*h)[0].next.Timestamp < limit {
+			c := (*h)[0]
+			tr.Append(c.next)
+			c.advance()
+			if c.done {
+				heap.Pop(h)
+			} else {
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	return tr
+}
+
+// Decompress is the one-call convenience over an archive.
+func Decompress(a *Archive) (*trace.Trace, error) {
+	d, err := NewDecompressor(a)
+	if err != nil {
+		return nil, err
+	}
+	return d.Decompress(), nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+)
+
+// Edge-condition coverage for the codec: degenerate traces, boundary flow
+// lengths and unusual option settings.
+
+func TestCompressEmptyTrace(t *testing.T) {
+	a, err := Compress(trace.New("empty"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Flows() != 0 || a.Packets() != 0 {
+		t.Fatalf("empty archive: flows=%d packets=%d", a.Flows(), a.Packets())
+	}
+	var buf bytes.Buffer
+	if _, err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 0 {
+		t.Fatal("empty archive must decompress to empty trace")
+	}
+}
+
+func TestCompressSinglePacketFlow(t *testing.T) {
+	tr := trace.New("single")
+	tr.Append(pkt.Packet{
+		Timestamp: time.Millisecond,
+		SrcIP:     pkt.Addr(10, 0, 0, 1), DstIP: pkt.Addr(20, 0, 0, 1),
+		SrcPort: 5000, DstPort: 80, Proto: pkt.ProtoTCP,
+		Flags: pkt.FlagSYN,
+	})
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Flows() != 1 || a.Packets() != 1 {
+		t.Fatalf("flows=%d packets=%d", a.Flows(), a.Packets())
+	}
+	dec, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 1 {
+		t.Fatalf("decompressed %d packets", dec.Len())
+	}
+	if !dec.Packets[0].Flags.Has(pkt.FlagSYN) {
+		t.Fatal("SYN class lost")
+	}
+}
+
+func TestCompressExactBoundaryFlows(t *testing.T) {
+	// Flows of exactly ShortMax packets are short; ShortMax+1 are long.
+	opts := DefaultOptions()
+	opts.ShortMax = 10
+
+	mk := func(n int, cport uint16) []pkt.Packet {
+		var out []pkt.Packet
+		ts := time.Duration(0)
+		for i := 0; i < n; i++ {
+			ts += time.Millisecond
+			p := pkt.Packet{
+				Timestamp: ts,
+				SrcIP:     pkt.Addr(10, 0, 0, 1), DstIP: pkt.Addr(20, 0, 0, 1),
+				SrcPort: cport, DstPort: 80, Proto: pkt.ProtoTCP,
+				Flags: pkt.FlagACK,
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+	tr := trace.New("boundary")
+	tr.Packets = append(tr.Packets, mk(10, 5000)...) // short
+	tr.Packets = append(tr.Packets, mk(11, 5001)...) // long
+	tr.Sort()
+	a, err := Compress(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shorts, longs int
+	for _, r := range a.TimeSeq {
+		if r.Long {
+			longs++
+		} else {
+			shorts++
+		}
+	}
+	if shorts != 1 || longs != 1 {
+		t.Fatalf("shorts=%d longs=%d, want 1/1", shorts, longs)
+	}
+}
+
+func TestCompressOnlyLongFlows(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShortMax = 2
+	tr := trace.New("long-only")
+	ts := time.Duration(0)
+	for i := 0; i < 30; i++ {
+		ts += time.Millisecond
+		tr.Append(pkt.Packet{
+			Timestamp: ts,
+			SrcIP:     pkt.Addr(10, 0, 0, 1), DstIP: pkt.Addr(20, 0, 0, 1),
+			SrcPort: 7000, DstPort: 80, Proto: pkt.ProtoTCP, Flags: pkt.FlagACK,
+		})
+	}
+	a, err := Compress(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ShortTemplates) != 0 || len(a.LongTemplates) != 1 {
+		t.Fatalf("short=%d long=%d", len(a.ShortTemplates), len(a.LongTemplates))
+	}
+	dec, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != tr.Len() {
+		t.Fatalf("decompressed %d packets, want %d", dec.Len(), tr.Len())
+	}
+	// Long flows replay measured gaps exactly (µs resolution).
+	gaps := flow.Assemble(dec.Packets)[0].InterPacketTimes()
+	for i, g := range gaps {
+		if g != time.Millisecond {
+			t.Fatalf("gap %d = %v, want 1ms", i, g)
+		}
+	}
+}
+
+func TestCompressHugeLimitCollapsesTemplates(t *testing.T) {
+	tr := webTrace(40, 800)
+	opts := DefaultOptions()
+	opts.LimitPct = 100 // everything same-length merges
+	a, err := Compress(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := map[int]bool{}
+	for _, tpl := range a.ShortTemplates {
+		if lengths[len(tpl)] {
+			t.Fatal("limit 100% must leave at most one template per length")
+		}
+		lengths[len(tpl)] = true
+	}
+}
+
+func TestCompressZeroLimitDisablesClustering(t *testing.T) {
+	tr := webTrace(41, 300)
+	opts := DefaultOptions()
+	opts.LimitPct = 0
+	a, err := Compress(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shorts := 0
+	for _, r := range a.TimeSeq {
+		if !r.Long {
+			shorts++
+		}
+	}
+	if len(a.ShortTemplates) != shorts {
+		t.Fatalf("0%% limit: %d templates for %d short flows", len(a.ShortTemplates), shorts)
+	}
+}
+
+func TestDecompressDefaultRTTForRTTlessFlows(t *testing.T) {
+	// A flow with no dependent packets has no RTT estimate; decompression
+	// must fall back to the configured gap rather than stacking packets on
+	// one timestamp.
+	tr := trace.New("nodep")
+	ts := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		ts += 2 * time.Millisecond
+		tr.Append(pkt.Packet{
+			Timestamp: ts,
+			SrcIP:     pkt.Addr(10, 0, 0, 1), DstIP: pkt.Addr(20, 0, 0, 1),
+			SrcPort: 5000, DstPort: 80, Proto: pkt.ProtoTCP, Flags: pkt.FlagACK,
+		})
+	}
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[time.Duration]bool{}
+	for _, p := range dec.Packets {
+		if seen[p.Timestamp] {
+			t.Fatal("duplicate timestamps in RTT-less flow")
+		}
+		seen[p.Timestamp] = true
+	}
+}
+
+func TestEncodedLongFlowRTTZeroed(t *testing.T) {
+	// The paper: "for long flows, the field RTT in the time-seq dataset is
+	// not filled". Verify the encoding drops it.
+	tr := webTrace(42, 400)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range b.TimeSeq {
+		if r.Long && r.RTT != 0 {
+			t.Fatalf("decoded long flow %d carries RTT %v", i, r.RTT)
+		}
+	}
+}
+
+func TestCompressorIgnoredAfterFinish(t *testing.T) {
+	c, err := NewCompressor(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Finish()
+	if a.Flows() != 0 {
+		t.Fatal("empty compressor must finish empty")
+	}
+}

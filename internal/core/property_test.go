@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+)
+
+// randomFlows builds a trace of arbitrary short conversations from fuzz
+// input: each element of raw describes one flow (length, timing, flags
+// pattern seed).
+func randomFlows(raw []uint32) *trace.Trace {
+	tr := trace.New("fuzz")
+	start := time.Duration(0)
+	for fi, v := range raw {
+		// Strictly increasing start times keep flow order unambiguous for
+		// the index-based alignment in the template-bound property.
+		start += time.Duration(v%50000+1) * time.Microsecond
+		n := int(2 + v%60) // 2..61 packets: spans the short/long boundary
+		client := pkt.Addr(10, byte(fi), byte(fi>>8), 1)
+		server := pkt.Addr(20, byte(v), byte(v>>8), 1)
+		cport := uint16(1024 + v%60000)
+		ts := start
+		dirClient := true
+		for i := 0; i < n; i++ {
+			flags := pkt.FlagACK
+			switch {
+			case i == 0:
+				flags = pkt.FlagSYN
+			case i == 1:
+				flags = pkt.FlagSYN | pkt.FlagACK
+			case i == n-1 && v%3 == 0:
+				flags = pkt.FlagRST
+			case i == n-1:
+				flags = pkt.FlagFIN | pkt.FlagACK
+			}
+			payload := uint16(0)
+			if (v>>uint(i%16))&1 == 1 {
+				payload = uint16(100 + (v % 1300))
+			}
+			p := pkt.Packet{
+				Timestamp: ts, Proto: pkt.ProtoTCP, Flags: flags,
+				TTL: 64, PayloadLen: payload,
+			}
+			if dirClient {
+				p.SrcIP, p.DstIP, p.SrcPort, p.DstPort = client, server, cport, 80
+			} else {
+				p.SrcIP, p.DstIP, p.SrcPort, p.DstPort = server, client, 80, cport
+			}
+			tr.Append(p)
+			// Pseudo-random direction flips and gaps derived from v.
+			if (v>>uint((i+7)%16))&1 == 1 {
+				dirClient = !dirClient
+				ts += time.Duration(1+v%40) * time.Millisecond
+			} else {
+				ts += time.Duration(100+v%900) * time.Microsecond
+			}
+		}
+	}
+	tr.Sort()
+	return tr
+}
+
+// Property: for arbitrary flow populations, the codec preserves packet
+// count, flow count and the per-flow vector-within-d_lim guarantee, and the
+// encoded archive round-trips.
+func TestQuickCodecInvariants(t *testing.T) {
+	opts := DefaultOptions()
+	f := func(raw []uint32) bool {
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		tr := randomFlows(raw)
+		a, err := Compress(tr, opts)
+		if err != nil {
+			return false
+		}
+		if a.Packets() != tr.Len() {
+			return false
+		}
+		if a.Validate() != nil {
+			return false
+		}
+		// Container round trip.
+		var buf bytes.Buffer
+		if _, err := a.Encode(&buf); err != nil {
+			return false
+		}
+		b, err := Decode(&buf)
+		if err != nil || b.Packets() != a.Packets() || b.Flows() != a.Flows() {
+			return false
+		}
+		// Decompression preserves counts.
+		dec, err := Decompress(b)
+		if err != nil || dec.Len() != tr.Len() {
+			return false
+		}
+		return dec.IsSorted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every short flow's vector is within d_lim of the template the
+// archive assigned it.
+func TestQuickTemplateDistanceBound(t *testing.T) {
+	opts := DefaultOptions()
+	w := opts.Weights
+	f := func(raw []uint32) bool {
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		tr := randomFlows(raw)
+		flows := flow.Assemble(tr.Packets)
+		a, err := Compress(tr, opts)
+		if err != nil {
+			return false
+		}
+		// Align flows to time-seq records by first timestamp order.
+		if len(flows) != len(a.TimeSeq) {
+			return false
+		}
+		for i, fl := range flows {
+			rec := a.TimeSeq[i]
+			if rec.Long {
+				continue
+			}
+			v := fl.Vector(w)
+			tpl := a.ShortTemplates[rec.Template]
+			if len(tpl) != len(v) {
+				return false
+			}
+			d := flow.Distance(tpl, v)
+			if d >= flow.DistanceLimit(len(v)) && d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

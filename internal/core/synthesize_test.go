@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"flowzip/internal/flow"
+)
+
+func TestSynthesizeFlowCount(t *testing.T) {
+	tr := webTrace(20, 500)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSynthConfig(a)
+	cfg.Flows = 1200
+	synth, err := Synthesize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := flow.Assemble(synth.Packets)
+	// Flow count preserved up to rare port collisions.
+	if len(flows) < 1190 || len(flows) > 1200 {
+		t.Fatalf("synthesized %d flows, want ~1200", len(flows))
+	}
+	if !synth.IsSorted() {
+		t.Fatal("synthetic trace must be sorted")
+	}
+}
+
+func TestSynthesizeScalesLoad(t *testing.T) {
+	tr := webTrace(21, 400)
+	a, _ := Compress(tr, DefaultOptions())
+
+	cfg := DefaultSynthConfig(a)
+	cfg.Flows = 400
+	base, err := Synthesize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Scale = 4.0
+	dense, err := Synthesize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x the arrival rate compresses the same flow count into ~1/4 the span.
+	if dense.Duration() >= base.Duration() {
+		t.Fatalf("scaled trace span %v not below base %v", dense.Duration(), base.Duration())
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	tr := webTrace(22, 300)
+	a, _ := Compress(tr, DefaultOptions())
+	cfg := DefaultSynthConfig(a)
+	s1, err := Synthesize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Synthesize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Len() != s2.Len() {
+		t.Fatal("synthesis not deterministic")
+	}
+	for i := range s1.Packets {
+		if s1.Packets[i] != s2.Packets[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestSynthesizePreservesTemplateMix(t *testing.T) {
+	// Recompressing a large synthetic trace should need (almost) no new
+	// templates: the synthetic flows are the archive's templates.
+	tr := webTrace(23, 600)
+	a, _ := Compress(tr, DefaultOptions())
+	cfg := DefaultSynthConfig(a)
+	cfg.Flows = 2000
+	synth, err := Synthesize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Compress(synth, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2.ShortTemplates) > len(a.ShortTemplates) {
+		t.Fatalf("synthesis invented templates: %d -> %d",
+			len(a.ShortTemplates), len(a2.ShortTemplates))
+	}
+}
+
+func TestSynthesizeEdgeCases(t *testing.T) {
+	empty := &Archive{Opts: DefaultOptions()}
+	tr, err := Synthesize(empty, SynthConfig{Flows: 10})
+	if err != nil || tr.Len() != 0 {
+		t.Fatalf("empty archive: len=%d err=%v", tr.Len(), err)
+	}
+
+	src := webTrace(24, 50)
+	a, _ := Compress(src, DefaultOptions())
+	tr, err = Synthesize(a, SynthConfig{Flows: 0})
+	if err != nil || tr.Len() != 0 {
+		t.Fatalf("zero flows: len=%d err=%v", tr.Len(), err)
+	}
+
+	// Negative scale falls back to 1.0.
+	tr, err = Synthesize(a, SynthConfig{Seed: 1, Flows: 20, Scale: -3})
+	if err != nil || tr.Len() == 0 {
+		t.Fatalf("negative scale: len=%d err=%v", tr.Len(), err)
+	}
+}
+
+func TestSynthesizeRejectsCorruptArchive(t *testing.T) {
+	src := webTrace(25, 50)
+	a, _ := Compress(src, DefaultOptions())
+	bad := *a
+	bad.TimeSeq = append([]TimeSeqRecord(nil), a.TimeSeq...)
+	bad.TimeSeq[0].Addr = 1 << 30
+	if _, err := Synthesize(&bad, DefaultSynthConfig(&bad)); err == nil {
+		t.Fatal("corrupt archive must be rejected")
+	}
+}
+
+func TestSynthesizeSpanRoughlyMatchesSource(t *testing.T) {
+	tr := webTrace(26, 800)
+	a, _ := Compress(tr, DefaultOptions())
+	cfg := DefaultSynthConfig(a)
+	synth, err := Synthesize(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same flow count at scale 1: the arrival span should be within 3x of
+	// the source span (exponential sampling variance allowed).
+	srcSpan := a.TimeSeq[len(a.TimeSeq)-1].FirstTS - a.TimeSeq[0].FirstTS
+	synthSpan := synth.Duration()
+	if synthSpan < srcSpan/3 || synthSpan > srcSpan*3 {
+		t.Fatalf("synthetic span %v vs source %v", synthSpan, srcSpan)
+	}
+	_ = time.Second
+}

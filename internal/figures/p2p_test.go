@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestP2PTable(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Flows = 1500
+	tbl, err := P2PTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	webRatio, err := strconv.ParseFloat(tbl.Rows[0][6], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2pRatio, err := strconv.ParseFloat(tbl.Rows[1][6], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The method still compresses P2P traffic far below the baselines...
+	if p2pRatio > 0.15 {
+		t.Fatalf("p2p ratio = %v, method should still work", p2pRatio)
+	}
+	// ...but Web must not be worse than P2P by any large factor.
+	if webRatio > p2pRatio*2 {
+		t.Fatalf("web ratio %v unexpectedly worse than p2p %v", webRatio, p2pRatio)
+	}
+	// P2P flows are longer on average.
+	webLen, _ := strconv.ParseFloat(tbl.Rows[0][2], 64)
+	p2pLen, _ := strconv.ParseFloat(tbl.Rows[1][2], 64)
+	if p2pLen <= webLen {
+		t.Fatalf("p2p mean length %v not above web %v", p2pLen, webLen)
+	}
+}
+
+func TestP2PDiversity(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Flows = 1500
+	tbl, err := P2PDiversity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	webClusters, err := strconv.Atoi(tbl.Rows[0][2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2pClusters, err := strconv.Atoi(tbl.Rows[1][2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The future-work finding: P2P flows are more diverse — more clusters
+	// for a comparable population.
+	if p2pClusters <= webClusters {
+		t.Fatalf("p2p clusters %d not above web %d", p2pClusters, webClusters)
+	}
+}

@@ -1,0 +1,89 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLengthDistBasics(t *testing.T) {
+	d := NewLengthDist()
+	d.Add(2, 100)
+	d.Add(2, 120)
+	d.Add(10, 5000)
+	if d.TotalFlows != 3 || d.TotalPackets != 14 || d.TotalBytes != 5220 {
+		t.Fatalf("totals wrong: %+v", d)
+	}
+	if p := d.P(2); math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Fatalf("P(2) = %v", p)
+	}
+	if p := d.P(5); p != 0 {
+		t.Fatalf("P(5) = %v, want 0", p)
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	d := NewLengthDist()
+	d.Add(2, 80)    // short
+	d.Add(50, 2000) // short (< 51)
+	d.Add(100, 100000)
+	if f := d.FlowFracBelow(51); math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Fatalf("flow frac = %v", f)
+	}
+	if f := d.PacketFracBelow(51); math.Abs(f-52.0/152.0) > 1e-12 {
+		t.Fatalf("packet frac = %v", f)
+	}
+	if f := d.ByteFracBelow(51); math.Abs(f-2080.0/102080.0) > 1e-12 {
+		t.Fatalf("byte frac = %v", f)
+	}
+}
+
+func TestFracBelowEmpty(t *testing.T) {
+	d := NewLengthDist()
+	if d.FlowFracBelow(51) != 0 || d.PacketFracBelow(51) != 0 || d.ByteFracBelow(51) != 0 {
+		t.Fatal("empty dist fractions must be 0")
+	}
+	if d.MeanLength() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	d := NewLengthDist()
+	d.Add(2, 0)
+	d.Add(4, 0)
+	if m := d.MeanLength(); m != 3 {
+		t.Fatalf("mean = %v", m)
+	}
+	if d.MaxLength() != 4 {
+		t.Fatalf("max = %d", d.MaxLength())
+	}
+}
+
+func TestLengths(t *testing.T) {
+	d := NewLengthDist()
+	d.Add(9, 0)
+	d.Add(2, 0)
+	d.Add(5, 0)
+	d.Add(2, 0)
+	got := d.Lengths()
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("lengths = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lengths = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMeasureLengths(t *testing.T) {
+	flows := []*Flow{
+		{Packets: make([]PacketInfo, 3)},
+		{Packets: make([]PacketInfo, 7)},
+	}
+	d := MeasureLengths(flows)
+	if d.TotalFlows != 2 || d.TotalPackets != 10 {
+		t.Fatalf("measured: %+v", d)
+	}
+}

@@ -1,0 +1,208 @@
+package flow
+
+import (
+	"sort"
+	"time"
+
+	"flowzip/internal/pkt"
+)
+
+// PacketInfo is the per-packet information a Flow retains: enough to rebuild
+// the characterization vector and the timing model, nothing more.
+type PacketInfo struct {
+	Timestamp time.Duration
+	FromLo    bool // direction relative to the canonical flow key
+	FlagClass int
+	DepClass  int
+	SizeClass int
+	Payload   int
+}
+
+// Flow is one assembled bidirectional TCP conversation.
+type Flow struct {
+	Key     pkt.FlowKey
+	Hash    uint64
+	Packets []PacketInfo
+
+	// ClientIP/ServerIP are the inferred endpoints: the sender of the first
+	// packet is the client (for Web traffic it sends the SYN).
+	ClientIP pkt.IPv4
+	ServerIP pkt.IPv4
+	// ServerPort is the destination port of the first packet.
+	ServerPort uint16
+
+	// Closed marks flows finalized by FIN/RST rather than table flush.
+	Closed bool
+
+	finLo, finHi bool // FIN seen from the Lo / Hi endpoint
+}
+
+// Len returns the packet count n.
+func (f *Flow) Len() int { return len(f.Packets) }
+
+// Bytes returns the sum of wire bytes (header + payload) of the flow.
+func (f *Flow) Bytes() int64 {
+	var b int64
+	for i := range f.Packets {
+		b += int64(pkt.HeaderBytes + f.Packets[i].Payload)
+	}
+	return b
+}
+
+// FirstTimestamp returns the timestamp of the first packet.
+func (f *Flow) FirstTimestamp() time.Duration {
+	if len(f.Packets) == 0 {
+		return 0
+	}
+	return f.Packets[0].Timestamp
+}
+
+// Vector computes F_f under the given weights.
+func (f *Flow) Vector(w Weights) Vector {
+	v := make(Vector, len(f.Packets))
+	for i := range f.Packets {
+		p := &f.Packets[i]
+		v[i] = uint8(w.F(p.FlagClass, p.DepClass, p.SizeClass))
+	}
+	return v
+}
+
+// InterPacketTimes returns the n-1 gaps between consecutive packets.
+func (f *Flow) InterPacketTimes() []time.Duration {
+	if len(f.Packets) < 2 {
+		return nil
+	}
+	out := make([]time.Duration, len(f.Packets)-1)
+	for i := 1; i < len(f.Packets); i++ {
+		out[i-1] = f.Packets[i].Timestamp - f.Packets[i-1].Timestamp
+	}
+	return out
+}
+
+// EstimateRTT returns the flow's round-trip-time estimate: the median gap
+// preceding dependent packets (a dependent packet waits one RTT by the
+// paper's model, e.g. SYN→SYN+ACK). Zero when the flow has no dependent
+// packets.
+func (f *Flow) EstimateRTT() time.Duration {
+	var gaps []time.Duration
+	for i := 1; i < len(f.Packets); i++ {
+		if f.Packets[i].DepClass == DepDependent {
+			gaps = append(gaps, f.Packets[i].Timestamp-f.Packets[i-1].Timestamp)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps[len(gaps)/2]
+}
+
+// Table assembles packets into flows, mirroring the paper's construction: a
+// list of per-flow nodes keyed by the 5-tuple hash, each holding the list of
+// its packets; a FIN or RST finalizes the flow.
+type Table struct {
+	active    map[pkt.FlowKey]*Flow
+	completed []*Flow
+	onDone    func(*Flow)
+}
+
+// NewTable returns an empty table. If onDone is non-nil it is invoked for
+// every finalized flow instead of accumulating them in memory — the
+// streaming path the compressor uses. Pass nil to collect flows for Flows().
+func NewTable(onDone func(*Flow)) *Table {
+	return &Table{active: make(map[pkt.FlowKey]*Flow), onDone: onDone}
+}
+
+// Add routes one packet into its flow. Packets must arrive in timestamp
+// order for dependence classification to be meaningful.
+func (t *Table) Add(p *pkt.Packet) {
+	key := p.Key()
+	fl := t.active[key]
+	if fl == nil {
+		fl = &Flow{
+			Key:        key,
+			Hash:       key.Hash(),
+			ClientIP:   p.SrcIP,
+			ServerIP:   p.DstIP,
+			ServerPort: p.DstPort,
+		}
+		t.active[key] = fl
+	}
+	dep := DepNotDependent
+	if n := len(fl.Packets); n > 0 && fl.Packets[n-1].FromLo != p.FromLo() {
+		// Previous packet of the conversation came from the opposite
+		// endpoint: this packet waited on it (ack dependence).
+		dep = DepDependent
+	}
+	fl.Packets = append(fl.Packets, PacketInfo{
+		Timestamp: p.Timestamp,
+		FromLo:    p.FromLo(),
+		FlagClass: FlagClass(p),
+		DepClass:  dep,
+		SizeClass: SizeClass(int(p.PayloadLen)),
+		Payload:   int(p.PayloadLen),
+	})
+	if p.Flags.Has(pkt.FlagFIN) {
+		if p.FromLo() {
+			fl.finLo = true
+		} else {
+			fl.finHi = true
+		}
+	}
+	// An RST tears the flow down immediately (the paper's trigger); a FIN
+	// closes it once both directions have FINed, so the peer's answering FIN
+	// does not spawn a spurious one-packet flow.
+	if p.Flags.Has(pkt.FlagRST) || (fl.finLo && fl.finHi) {
+		fl.Closed = true
+		t.finalize(key, fl)
+	}
+}
+
+func (t *Table) finalize(key pkt.FlowKey, fl *Flow) {
+	delete(t.active, key)
+	if t.onDone != nil {
+		t.onDone(fl)
+		return
+	}
+	t.completed = append(t.completed, fl)
+}
+
+// Flush finalizes every still-active flow (end of trace).
+func (t *Table) Flush() {
+	keys := make([]pkt.FlowKey, 0, len(t.active))
+	for k := range t.active {
+		keys = append(keys, k)
+	}
+	// Deterministic order: by first packet timestamp, then hash.
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := t.active[keys[i]], t.active[keys[j]]
+		if a.FirstTimestamp() != b.FirstTimestamp() {
+			return a.FirstTimestamp() < b.FirstTimestamp()
+		}
+		return a.Hash < b.Hash
+	})
+	for _, k := range keys {
+		t.finalize(k, t.active[k])
+	}
+}
+
+// ActiveCount returns the number of open flows.
+func (t *Table) ActiveCount() int { return len(t.active) }
+
+// Flows returns the finalized flows (only meaningful when onDone was nil).
+func (t *Table) Flows() []*Flow { return t.completed }
+
+// Assemble runs a whole packet slice through a fresh table and returns the
+// flows ordered by first-packet timestamp.
+func Assemble(packets []pkt.Packet) []*Flow {
+	t := NewTable(nil)
+	for i := range packets {
+		t.Add(&packets[i])
+	}
+	t.Flush()
+	flows := t.Flows()
+	sort.SliceStable(flows, func(i, j int) bool {
+		return flows[i].FirstTimestamp() < flows[j].FirstTimestamp()
+	})
+	return flows
+}

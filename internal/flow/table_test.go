@@ -1,0 +1,238 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"flowzip/internal/pkt"
+)
+
+// webConversation builds a canonical HTTP-like exchange:
+// SYN, SYN+ACK, ACK, request, response x respPkts, FIN, FIN+ACK.
+func webConversation(client, server pkt.IPv4, cport uint16, start time.Duration, rtt time.Duration, respPkts int) []pkt.Packet {
+	gap := 100 * time.Microsecond
+	ts := start
+	var out []pkt.Packet
+	emit := func(fromClient bool, flags pkt.TCPFlags, payload uint16, wait time.Duration) {
+		ts += wait
+		p := pkt.Packet{Timestamp: ts, Proto: pkt.ProtoTCP, Flags: flags, TTL: 64, PayloadLen: payload, Window: 65535}
+		if fromClient {
+			p.SrcIP, p.DstIP, p.SrcPort, p.DstPort = client, server, cport, 80
+		} else {
+			p.SrcIP, p.DstIP, p.SrcPort, p.DstPort = server, client, 80, cport
+		}
+		out = append(out, p)
+	}
+	emit(true, pkt.FlagSYN, 0, 0)
+	emit(false, pkt.FlagSYN|pkt.FlagACK, 0, rtt)
+	emit(true, pkt.FlagACK, 0, rtt)
+	emit(true, pkt.FlagACK|pkt.FlagPSH, 300, gap)
+	for i := 0; i < respPkts; i++ {
+		wait := gap
+		if i == 0 {
+			wait = rtt
+		}
+		emit(false, pkt.FlagACK|pkt.FlagPSH, 1460, wait)
+	}
+	emit(true, pkt.FlagFIN|pkt.FlagACK, 0, rtt)
+	emit(false, pkt.FlagFIN|pkt.FlagACK, 0, rtt)
+	return out
+}
+
+func TestAssembleSingleFlow(t *testing.T) {
+	packets := webConversation(pkt.Addr(10, 0, 0, 1), pkt.Addr(192, 168, 0, 80), 5000, 0, 50*time.Millisecond, 3)
+	flows := Assemble(packets)
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(flows))
+	}
+	f := flows[0]
+	if f.Len() != len(packets) {
+		t.Fatalf("flow len = %d, want %d", f.Len(), len(packets))
+	}
+	if !f.Closed {
+		t.Fatal("FIN-terminated flow must be Closed")
+	}
+	if f.ClientIP != pkt.Addr(10, 0, 0, 1) || f.ServerIP != pkt.Addr(192, 168, 0, 80) {
+		t.Fatalf("endpoints wrong: client=%v server=%v", f.ClientIP, f.ServerIP)
+	}
+	if f.ServerPort != 80 {
+		t.Fatalf("server port = %d", f.ServerPort)
+	}
+}
+
+func TestDependenceClassification(t *testing.T) {
+	packets := webConversation(pkt.Addr(10, 0, 0, 1), pkt.Addr(192, 168, 0, 80), 5000, 0, 50*time.Millisecond, 2)
+	f := Assemble(packets)[0]
+	// SYN: first packet, not dependent.
+	if f.Packets[0].DepClass != DepNotDependent {
+		t.Fatal("first packet must be not-dependent")
+	}
+	// SYN+ACK: opposite direction, dependent.
+	if f.Packets[1].DepClass != DepDependent {
+		t.Fatal("SYN+ACK must be dependent")
+	}
+	// ACK from client after SYN+ACK: dependent.
+	if f.Packets[2].DepClass != DepDependent {
+		t.Fatal("handshake ACK must be dependent")
+	}
+	// Request follows client's own ACK: not dependent.
+	if f.Packets[3].DepClass != DepNotDependent {
+		t.Fatal("request after own ACK must be not-dependent")
+	}
+	// First response packet: dependent; second: not dependent.
+	if f.Packets[4].DepClass != DepDependent {
+		t.Fatal("first response must be dependent")
+	}
+	if f.Packets[5].DepClass != DepNotDependent {
+		t.Fatal("second response must be not-dependent")
+	}
+}
+
+func TestVectorValues(t *testing.T) {
+	packets := webConversation(pkt.Addr(10, 0, 0, 1), pkt.Addr(192, 168, 0, 80), 5000, 0, 50*time.Millisecond, 1)
+	f := Assemble(packets)[0]
+	v := f.Vector(DefaultWeights)
+	// SYN not-dependent empty: 16+8+1 = 25.
+	if v[0] != 25 {
+		t.Fatalf("v[0] = %d, want 25", v[0])
+	}
+	// SYN+ACK dependent empty: 32+4+1 = 37.
+	if v[1] != 37 {
+		t.Fatalf("v[1] = %d, want 37", v[1])
+	}
+	// Request: ACK class, not dependent, small payload: 48+8+2 = 58.
+	if v[3] != 58 {
+		t.Fatalf("v[3] = %d, want 58", v[3])
+	}
+	// Response: ACK class, dependent, large: 48+4+3 = 55.
+	if v[4] != 55 {
+		t.Fatalf("v[4] = %d, want 55", v[4])
+	}
+}
+
+func TestTwoInterleavedFlows(t *testing.T) {
+	a := webConversation(pkt.Addr(10, 0, 0, 1), pkt.Addr(192, 168, 0, 80), 5000, 0, 40*time.Millisecond, 2)
+	b := webConversation(pkt.Addr(10, 0, 0, 2), pkt.Addr(192, 168, 0, 80), 6000, 5*time.Millisecond, 60*time.Millisecond, 4)
+	all := append(append([]pkt.Packet{}, a...), b...)
+	// Interleave by sorting on time.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].Timestamp < all[j-1].Timestamp; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	flows := Assemble(all)
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d, want 2", len(flows))
+	}
+	if flows[0].Len()+flows[1].Len() != len(all) {
+		t.Fatal("packets lost in assembly")
+	}
+	// Flows ordered by first timestamp.
+	if flows[0].FirstTimestamp() > flows[1].FirstTimestamp() {
+		t.Fatal("flows out of order")
+	}
+}
+
+func TestRSTFinalizes(t *testing.T) {
+	client, server := pkt.Addr(10, 0, 0, 1), pkt.Addr(192, 168, 0, 80)
+	packets := []pkt.Packet{
+		{Timestamp: 0, SrcIP: client, DstIP: server, SrcPort: 5000, DstPort: 80, Proto: pkt.ProtoTCP, Flags: pkt.FlagSYN},
+		{Timestamp: time.Millisecond, SrcIP: server, DstIP: client, SrcPort: 80, DstPort: 5000, Proto: pkt.ProtoTCP, Flags: pkt.FlagRST},
+	}
+	tbl := NewTable(nil)
+	for i := range packets {
+		tbl.Add(&packets[i])
+	}
+	if tbl.ActiveCount() != 0 {
+		t.Fatal("RST must close the flow")
+	}
+	if len(tbl.Flows()) != 1 || !tbl.Flows()[0].Closed {
+		t.Fatal("flow not finalized as closed")
+	}
+}
+
+func TestFlushFinalizesOpenFlows(t *testing.T) {
+	p := pkt.Packet{SrcIP: pkt.Addr(1, 2, 3, 4), DstIP: pkt.Addr(5, 6, 7, 8), SrcPort: 1234, DstPort: 80, Proto: pkt.ProtoTCP, Flags: pkt.FlagACK}
+	tbl := NewTable(nil)
+	tbl.Add(&p)
+	if tbl.ActiveCount() != 1 {
+		t.Fatal("flow should be active")
+	}
+	tbl.Flush()
+	if tbl.ActiveCount() != 0 || len(tbl.Flows()) != 1 {
+		t.Fatal("flush must finalize")
+	}
+	if tbl.Flows()[0].Closed {
+		t.Fatal("flushed flow must not be marked Closed")
+	}
+}
+
+func TestStreamingCallback(t *testing.T) {
+	var got []*Flow
+	tbl := NewTable(func(f *Flow) { got = append(got, f) })
+	packets := webConversation(pkt.Addr(10, 0, 0, 1), pkt.Addr(192, 168, 0, 80), 5000, 0, 10*time.Millisecond, 1)
+	for i := range packets {
+		tbl.Add(&packets[i])
+	}
+	// The conversation ends with FINs from both sides: the flow finalizes
+	// exactly once, on the second FIN.
+	if len(got) != 1 {
+		t.Fatalf("callbacks = %d, want 1", len(got))
+	}
+	if got[0].Len() != len(packets) {
+		t.Fatalf("flow captured %d packets, want %d", got[0].Len(), len(packets))
+	}
+	tbl.Flush()
+	if len(got) != 1 {
+		t.Fatalf("after flush callbacks = %d, want 1", len(got))
+	}
+	if len(tbl.Flows()) != 0 {
+		t.Fatal("streaming table must not accumulate flows")
+	}
+}
+
+func TestEstimateRTT(t *testing.T) {
+	rtt := 80 * time.Millisecond
+	packets := webConversation(pkt.Addr(10, 0, 0, 1), pkt.Addr(192, 168, 0, 80), 5000, 0, rtt, 3)
+	f := Assemble(packets)[0]
+	got := f.EstimateRTT()
+	if got < rtt/2 || got > rtt*2 {
+		t.Fatalf("RTT estimate %v, want ~%v", got, rtt)
+	}
+}
+
+func TestEstimateRTTNoDependent(t *testing.T) {
+	f := &Flow{Packets: []PacketInfo{
+		{Timestamp: 0, DepClass: DepNotDependent},
+		{Timestamp: time.Millisecond, DepClass: DepNotDependent},
+	}}
+	if f.EstimateRTT() != 0 {
+		t.Fatal("no dependent packets must yield 0 RTT")
+	}
+}
+
+func TestInterPacketTimes(t *testing.T) {
+	f := &Flow{Packets: []PacketInfo{
+		{Timestamp: 0}, {Timestamp: 10 * time.Millisecond}, {Timestamp: 15 * time.Millisecond},
+	}}
+	gaps := f.InterPacketTimes()
+	if len(gaps) != 2 || gaps[0] != 10*time.Millisecond || gaps[1] != 5*time.Millisecond {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if (&Flow{}).InterPacketTimes() != nil {
+		t.Fatal("empty flow must have nil gaps")
+	}
+}
+
+func TestFlowBytes(t *testing.T) {
+	f := &Flow{Packets: []PacketInfo{{Payload: 100}, {Payload: 0}}}
+	if got := f.Bytes(); got != 2*40+100 {
+		t.Fatalf("bytes = %d", got)
+	}
+}
+
+func TestFirstTimestampEmpty(t *testing.T) {
+	if (&Flow{}).FirstTimestamp() != 0 {
+		t.Fatal("empty flow timestamp must be 0")
+	}
+}

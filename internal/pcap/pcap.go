@@ -1,0 +1,197 @@
+// Package pcap implements the classic libpcap capture file format
+// (little-endian, microsecond resolution, LINKTYPE_RAW) for interchange with
+// standard tooling. Packets are written as bare IPv4 datagrams — header-only
+// records, like the traces the paper works with: the captured length is the
+// 40 header bytes while the original length includes the payload.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"flowzip/internal/pkt"
+)
+
+const (
+	// MagicMicroseconds is the standard little-endian pcap magic.
+	MagicMicroseconds = 0xa1b2c3d4
+	// LinkTypeRaw means packets start directly at the IP header.
+	LinkTypeRaw = 101
+	// GlobalHeaderLen and RecordHeaderLen are the fixed framing sizes.
+	GlobalHeaderLen = 24
+	RecordHeaderLen = 16
+	// DefaultSnapLen mirrors a header-only capture.
+	DefaultSnapLen = pkt.HeaderBytes
+)
+
+// ErrBadMagic reports a stream that is not a little-endian microsecond pcap.
+var ErrBadMagic = errors.New("pcap: bad magic")
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w           io.Writer
+	wroteHeader bool
+	n           int64
+}
+
+// NewWriter returns a Writer; the global header is emitted lazily on the
+// first packet (or by Flush on an empty capture).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (w *Writer) writeGlobalHeader() error {
+	var h [GlobalHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], MagicMicroseconds)
+	binary.LittleEndian.PutUint16(h[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(h[6:8], 4) // version minor
+	binary.LittleEndian.PutUint32(h[8:12], 0)
+	binary.LittleEndian.PutUint32(h[12:16], 0)
+	binary.LittleEndian.PutUint32(h[16:20], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(h[20:24], LinkTypeRaw)
+	if _, err := w.w.Write(h[:]); err != nil {
+		return fmt.Errorf("pcap: write global header: %w", err)
+	}
+	w.wroteHeader = true
+	return nil
+}
+
+// Flush ensures the global header exists even for empty captures.
+func (w *Writer) Flush() error {
+	if !w.wroteHeader {
+		return w.writeGlobalHeader()
+	}
+	return nil
+}
+
+// WritePacket appends one record.
+func (w *Writer) WritePacket(p *pkt.Packet) error {
+	if !w.wroteHeader {
+		if err := w.writeGlobalHeader(); err != nil {
+			return err
+		}
+	}
+	var rec [RecordHeaderLen + pkt.HeaderBytes]byte
+	sec := uint32(p.Timestamp / time.Second)
+	usec := uint32((p.Timestamp % time.Second) / time.Microsecond)
+	binary.LittleEndian.PutUint32(rec[0:4], sec)
+	binary.LittleEndian.PutUint32(rec[4:8], usec)
+	binary.LittleEndian.PutUint32(rec[8:12], pkt.HeaderBytes)
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(p.TotalLen()))
+	if _, err := p.MarshalHeaders(rec[RecordHeaderLen:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: write record: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Reader parses a pcap stream produced by this package (or any raw-IP,
+// little-endian microsecond pcap whose captured slices start at an IPv4
+// header).
+type Reader struct {
+	r       io.Reader
+	started bool
+	buf     []byte
+	n       int64
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r, buf: make([]byte, 65536)} }
+
+func (r *Reader) readGlobalHeader() error {
+	var h [GlobalHeaderLen]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		return fmt.Errorf("pcap: read global header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(h[0:4]) != MagicMicroseconds {
+		return ErrBadMagic
+	}
+	if lt := binary.LittleEndian.Uint32(h[20:24]); lt != LinkTypeRaw {
+		return fmt.Errorf("pcap: unsupported link type %d (want %d)", lt, LinkTypeRaw)
+	}
+	r.started = true
+	return nil
+}
+
+// ReadPacket decodes the next record, returning io.EOF at end of stream.
+func (r *Reader) ReadPacket(p *pkt.Packet) error {
+	if !r.started {
+		if err := r.readGlobalHeader(); err != nil {
+			return err
+		}
+	}
+	var rh [RecordHeaderLen]byte
+	n, err := io.ReadFull(r.r, rh[:])
+	if err == io.EOF && n == 0 {
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("pcap: truncated record header: %w", err)
+	}
+	sec := binary.LittleEndian.Uint32(rh[0:4])
+	usec := binary.LittleEndian.Uint32(rh[4:8])
+	incl := binary.LittleEndian.Uint32(rh[8:12])
+	orig := binary.LittleEndian.Uint32(rh[12:16])
+	if incl > uint32(len(r.buf)) {
+		return fmt.Errorf("pcap: record too large: %d bytes", incl)
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:incl]); err != nil {
+		return fmt.Errorf("pcap: truncated record body: %w", err)
+	}
+	p.Timestamp = time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond
+	if err := p.UnmarshalHeaders(r.buf[:incl]); err != nil {
+		return fmt.Errorf("pcap: record %d: %w", r.n, err)
+	}
+	// Header traces carry payload length via the original (wire) length.
+	if orig >= pkt.HeaderBytes {
+		p.PayloadLen = uint16(orig - pkt.HeaderBytes)
+	}
+	r.n++
+	return nil
+}
+
+// Count returns the number of records read so far.
+func (r *Reader) Count() int64 { return r.n }
+
+// WriteAll writes a whole packet slice as a capture file.
+func WriteAll(w io.Writer, packets []pkt.Packet) error {
+	pw := NewWriter(w)
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+	for i := range packets {
+		if err := pw.WritePacket(&packets[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll decodes every record.
+func ReadAll(r io.Reader) ([]pkt.Packet, error) {
+	pr := NewReader(r)
+	var out []pkt.Packet
+	for {
+		var p pkt.Packet
+		err := pr.ReadPacket(&p)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+// Size returns the pcap file size in bytes for n header-only packets.
+func Size(n int) int64 {
+	return GlobalHeaderLen + int64(n)*(RecordHeaderLen+pkt.HeaderBytes)
+}

@@ -1,0 +1,137 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"flowzip/internal/pkt"
+)
+
+func mkPacket(i int) pkt.Packet {
+	return pkt.Packet{
+		Timestamp:  time.Duration(i) * time.Millisecond,
+		SrcIP:      pkt.Addr(10, 0, 0, byte(i)),
+		DstIP:      pkt.Addr(192, 168, 1, 80),
+		SrcPort:    uint16(2000 + i),
+		DstPort:    80,
+		Proto:      pkt.ProtoTCP,
+		Flags:      pkt.FlagACK | pkt.FlagPSH,
+		Seq:        uint32(i),
+		Ack:        uint32(i + 1),
+		Window:     4096,
+		TTL:        64,
+		IPID:       uint16(i),
+		PayloadLen: uint16(100 * i % 1400),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var packets []pkt.Packet
+	for i := 0; i < 50; i++ {
+		packets = append(packets, mkPacket(i))
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, packets); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(buf.Len()), Size(50); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(packets) {
+		t.Fatalf("decoded %d, want %d", len(back), len(packets))
+	}
+	for i := range packets {
+		if back[i] != packets[i] {
+			t.Fatalf("packet %d mismatch:\n got %+v\nwant %+v", i, back[i], packets[i])
+		}
+	}
+}
+
+func TestEmptyCaptureHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != GlobalHeaderLen {
+		t.Fatalf("empty capture = %d bytes, want %d", buf.Len(), GlobalHeaderLen)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("reading empty capture: out=%v err=%v", out, err)
+	}
+}
+
+func TestGlobalHeaderFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	h := buf.Bytes()
+	if binary.LittleEndian.Uint32(h[0:4]) != MagicMicroseconds {
+		t.Fatal("bad magic")
+	}
+	if binary.LittleEndian.Uint16(h[4:6]) != 2 || binary.LittleEndian.Uint16(h[6:8]) != 4 {
+		t.Fatal("bad version")
+	}
+	if binary.LittleEndian.Uint32(h[20:24]) != LinkTypeRaw {
+		t.Fatal("bad link type")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	junk := make([]byte, GlobalHeaderLen)
+	_, err := ReadAll(bytes.NewReader(junk))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestUnsupportedLinkType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[20:24], 1) // ethernet
+	if _, err := ReadAll(bytes.NewReader(b)); err == nil {
+		t.Fatal("expected link-type error")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	p := mkPacket(1)
+	if err := WriteAll(&buf, []pkt.Packet{p}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadAll(bytes.NewReader(b[:len(b)-10])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if _, err := ReadAll(bytes.NewReader(b[:GlobalHeaderLen+4])); err == nil {
+		t.Fatal("expected truncated record header error")
+	}
+}
+
+func TestPayloadLenFromOrigLen(t *testing.T) {
+	p := mkPacket(3)
+	p.PayloadLen = 1234
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []pkt.Packet{p}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].PayloadLen != 1234 {
+		t.Fatalf("payload = %d, want 1234", back[0].PayloadLen)
+	}
+}

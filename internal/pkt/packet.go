@@ -1,0 +1,202 @@
+// Package pkt defines the packet model used throughout flowzip: IPv4/TCP
+// header structures, TCP flags, 5-tuples and the canonical (bidirectional)
+// flow key, together with wire-format marshalling including checksums.
+//
+// Only the fields a header trace carries are modelled — there are no
+// payloads, exactly as in the TSH traces the paper compresses.
+package pkt
+
+import (
+	"fmt"
+	"time"
+)
+
+// TCPFlags is the 8-bit TCP flag field.
+type TCPFlags uint8
+
+// TCP flag bits in wire order.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+	FlagECE
+	FlagCWR
+)
+
+// Has reports whether all bits in mask are set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// String renders flags in the conventional "SYN|ACK" form.
+func (f TCPFlags) String() string {
+	if f == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"},
+		{FlagRST, "RST"}, {FlagPSH, "PSH"}, {FlagURG, "URG"},
+		{FlagECE, "ECE"}, {FlagCWR, "CWR"},
+	}
+	out := ""
+	for _, n := range names {
+		if f.Has(n.bit) {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	return out
+}
+
+// Protocol numbers used by the trace model.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// IPv4 is a 32-bit address. It orders numerically for canonicalization.
+type IPv4 uint32
+
+// String renders dotted-quad notation.
+func (a IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Addr assembles an address from octets.
+func Addr(a, b, c, d byte) IPv4 {
+	return IPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Packet is one trace record: timing plus the TCP/IP header fields a header
+// trace preserves. Timestamp is an offset from the trace origin.
+type Packet struct {
+	Timestamp time.Duration
+
+	SrcIP   IPv4
+	DstIP   IPv4
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+
+	Flags  TCPFlags
+	Seq    uint32
+	Ack    uint32
+	Window uint16
+
+	TTL  uint8
+	IPID uint16
+
+	// PayloadLen is the TCP payload length in bytes. The full IP datagram
+	// length is HeaderBytes + PayloadLen.
+	PayloadLen uint16
+}
+
+// HeaderBytes is the canonical TCP/IP header size (20 IP + 20 TCP, no
+// options) assumed by the paper when sizing traces.
+const HeaderBytes = 40
+
+// TotalLen returns the IP datagram length implied by the packet.
+func (p *Packet) TotalLen() int { return HeaderBytes + int(p.PayloadLen) }
+
+// FiveTuple identifies one direction of a conversation.
+type FiveTuple struct {
+	SrcIP   IPv4
+	DstIP   IPv4
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Tuple extracts the packet's 5-tuple.
+func (p *Packet) Tuple() FiveTuple {
+	return FiveTuple{p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto}
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (t FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{t.DstIP, t.SrcIP, t.DstPort, t.SrcPort, t.Proto}
+}
+
+// String renders "src:port > dst:port/proto".
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d/%d", t.SrcIP, t.SrcPort, t.DstIP, t.DstPort, t.Proto)
+}
+
+// FlowKey is the canonical bidirectional flow identity: both directions of a
+// conversation map to the same key. The paper's flow characterization mixes
+// packets from both endpoints (SYN and SYN+ACK appear in one F_f vector), so
+// the flow table must be direction-agnostic.
+type FlowKey struct {
+	LoIP   IPv4
+	HiIP   IPv4
+	LoPort uint16
+	HiPort uint16
+	Proto  uint8
+}
+
+// Canonical builds the FlowKey for a tuple. The endpoint with the smaller
+// (IP, port) pair becomes the "Lo" side.
+func (t FiveTuple) Canonical() FlowKey {
+	if t.SrcIP < t.DstIP || (t.SrcIP == t.DstIP && t.SrcPort <= t.DstPort) {
+		return FlowKey{t.SrcIP, t.DstIP, t.SrcPort, t.DstPort, t.Proto}
+	}
+	return FlowKey{t.DstIP, t.SrcIP, t.DstPort, t.SrcPort, t.Proto}
+}
+
+// Key returns the canonical flow key of the packet.
+func (p *Packet) Key() FlowKey { return p.Tuple().Canonical() }
+
+// FromLo reports whether the packet travels from the key's Lo endpoint to the
+// Hi endpoint. Used to recover packet direction inside a canonical flow.
+func (p *Packet) FromLo() bool {
+	k := p.Key()
+	return p.SrcIP == k.LoIP && p.SrcPort == k.LoPort
+}
+
+// Hash implements the paper's node key: a hash of the 5-tuple fields. FNV-1a
+// over the canonical key so both directions collide intentionally.
+func (k FlowKey) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(k.LoIP >> (8 * i)))
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(k.HiIP >> (8 * i)))
+	}
+	mix(byte(k.LoPort))
+	mix(byte(k.LoPort >> 8))
+	mix(byte(k.HiPort))
+	mix(byte(k.HiPort >> 8))
+	mix(k.Proto)
+	return h
+}
+
+// IsHandshakeSYN reports a bare SYN (client connection attempt).
+func (p *Packet) IsHandshakeSYN() bool {
+	return p.Flags.Has(FlagSYN) && !p.Flags.Has(FlagACK)
+}
+
+// IsSYNACK reports the server handshake reply.
+func (p *Packet) IsSYNACK() bool {
+	return p.Flags.Has(FlagSYN) && p.Flags.Has(FlagACK)
+}
+
+// IsTeardown reports FIN or RST — the events that close a flow in the
+// compressor's flow table.
+func (p *Packet) IsTeardown() bool {
+	return p.Flags&(FlagFIN|FlagRST) != 0
+}

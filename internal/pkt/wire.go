@@ -1,0 +1,142 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire-format marshalling for the 40-byte TCP/IP header pair. This is what
+// the pcap writer emits and what the TSH format embeds (TSH truncates the
+// TCP header to its first 16 bytes).
+
+// IPHeaderLen and TCPHeaderLen are the fixed header sizes used (no options).
+const (
+	IPHeaderLen  = 20
+	TCPHeaderLen = 20
+)
+
+// MarshalHeaders encodes the packet's IPv4 and TCP headers into dst, which
+// must be at least HeaderBytes long. Checksums are computed. Returns the
+// number of bytes written (always HeaderBytes).
+func (p *Packet) MarshalHeaders(dst []byte) (int, error) {
+	if len(dst) < HeaderBytes {
+		return 0, fmt.Errorf("pkt: marshal buffer too small: %d < %d", len(dst), HeaderBytes)
+	}
+	ip := dst[:IPHeaderLen]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = 0    // DSCP/ECN
+	binary.BigEndian.PutUint16(ip[2:4], uint16(p.TotalLen()))
+	binary.BigEndian.PutUint16(ip[4:6], p.IPID)
+	binary.BigEndian.PutUint16(ip[6:8], 0x4000) // DF, no fragments
+	ip[8] = p.TTL
+	ip[9] = p.Proto
+	binary.BigEndian.PutUint16(ip[10:12], 0) // checksum placeholder
+	binary.BigEndian.PutUint32(ip[12:16], uint32(p.SrcIP))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(p.DstIP))
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip))
+
+	tcp := dst[IPHeaderLen:HeaderBytes]
+	binary.BigEndian.PutUint16(tcp[0:2], p.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], p.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], p.Seq)
+	binary.BigEndian.PutUint32(tcp[8:12], p.Ack)
+	tcp[12] = 5 << 4 // data offset 5 words
+	tcp[13] = byte(p.Flags)
+	binary.BigEndian.PutUint16(tcp[14:16], p.Window)
+	binary.BigEndian.PutUint16(tcp[16:18], 0) // checksum placeholder
+	binary.BigEndian.PutUint16(tcp[18:20], 0) // urgent
+	binary.BigEndian.PutUint16(tcp[16:18], tcpChecksum(p, tcp))
+	return HeaderBytes, nil
+}
+
+// UnmarshalHeaders decodes IPv4+TCP headers from src into p. Timestamp is
+// left untouched. It tolerates truncated TCP headers of at least 16 bytes
+// (the TSH case, where checksum and urgent pointer are cut): missing fields
+// decode as zero.
+func (p *Packet) UnmarshalHeaders(src []byte) error {
+	if len(src) < IPHeaderLen {
+		return fmt.Errorf("pkt: short IP header: %d bytes", len(src))
+	}
+	ip := src[:IPHeaderLen]
+	if v := ip[0] >> 4; v != 4 {
+		return fmt.Errorf("pkt: unsupported IP version %d", v)
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPHeaderLen {
+		return fmt.Errorf("pkt: bad IHL %d", ihl)
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	p.IPID = binary.BigEndian.Uint16(ip[4:6])
+	p.TTL = ip[8]
+	p.Proto = ip[9]
+	p.SrcIP = IPv4(binary.BigEndian.Uint32(ip[12:16]))
+	p.DstIP = IPv4(binary.BigEndian.Uint32(ip[16:20]))
+
+	rest := src[ihl:]
+	if len(rest) < 16 {
+		return fmt.Errorf("pkt: short TCP header: %d bytes", len(rest))
+	}
+	p.SrcPort = binary.BigEndian.Uint16(rest[0:2])
+	p.DstPort = binary.BigEndian.Uint16(rest[2:4])
+	p.Seq = binary.BigEndian.Uint32(rest[4:8])
+	p.Ack = binary.BigEndian.Uint32(rest[8:12])
+	dataOff := int(rest[12]>>4) * 4
+	if dataOff < TCPHeaderLen {
+		dataOff = TCPHeaderLen
+	}
+	p.Flags = TCPFlags(rest[13])
+	p.Window = binary.BigEndian.Uint16(rest[14:16])
+	payload := totalLen - ihl - dataOff
+	if payload < 0 {
+		payload = 0
+	}
+	p.PayloadLen = uint16(payload)
+	return nil
+}
+
+// ipChecksum computes the standard Internet checksum over the IP header with
+// its checksum field zeroed.
+func ipChecksum(hdr []byte) uint16 {
+	return onesComplement(checksumSum(hdr, 0))
+}
+
+// tcpChecksum computes the TCP checksum over the pseudo-header and the
+// header bytes. Header traces carry no payload bytes, so the payload
+// contribution is absent by construction; the payload length still enters via
+// the pseudo-header TCP length field.
+func tcpChecksum(p *Packet, tcp []byte) uint16 {
+	var pseudo [12]byte
+	binary.BigEndian.PutUint32(pseudo[0:4], uint32(p.SrcIP))
+	binary.BigEndian.PutUint32(pseudo[4:8], uint32(p.DstIP))
+	pseudo[8] = 0
+	pseudo[9] = p.Proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(TCPHeaderLen)+p.PayloadLen)
+	sum := checksumSum(pseudo[:], 0)
+	sum = checksumSum(tcp, sum)
+	return onesComplement(sum)
+}
+
+func checksumSum(b []byte, sum uint32) uint32 {
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	return sum
+}
+
+func onesComplement(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// VerifyIPChecksum reports whether the IP header checksum in hdr is valid.
+func VerifyIPChecksum(hdr []byte) bool {
+	if len(hdr) < IPHeaderLen {
+		return false
+	}
+	return onesComplement(checksumSum(hdr[:IPHeaderLen], 0)) == 0
+}

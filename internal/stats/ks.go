@@ -1,0 +1,46 @@
+package stats
+
+import "sort"
+
+// KSDistance computes the two-sample Kolmogorov–Smirnov statistic
+// sup_x |F_a(x) − F_b(x)| between the empirical distributions of two
+// samples. The memory-validation experiments use it to quantify the paper's
+// "the Original and the Decompressed trace show similar behavior" claim:
+// 0 means identical distributions, 1 maximal divergence.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == len(b) {
+			return 0
+		}
+		return 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := float64(len(as)), float64(len(bs))
+	var i, j int
+	maxD := 0.0
+	for i < len(as) && j < len(bs) {
+		var x float64
+		if as[i] <= bs[j] {
+			x = as[i]
+		} else {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		d := float64(i)/na - float64(j)/nb
+		if d < 0 {
+			d = -d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result table: the unit every experiment harness
+// produces so figures and tables render uniformly on a terminal or as CSV.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row formatting each value with %v (floats as %.4g).
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes an aligned plain-text rendering.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values (no escaping needed for the
+// numeric/identifier cells the harness produces, but quotes are applied when
+// a cell contains a comma or quote).
+func (t *Table) CSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				fmt.Fprintf(w, "%q", c)
+			} else {
+				fmt.Fprint(w, c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Series is one named curve of (x, y) points — the unit of a "figure".
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// Figure is a set of series over shared axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a series.
+func (f *Figure) Add(name string, pts [][2]float64) {
+	f.Series = append(f.Series, Series{Name: name, Points: pts})
+}
+
+// Table converts the figure into a table with one x column and one column per
+// series. The series are sampled at the union of x values; missing values are
+// rendered as "-".
+func (f *Figure) Table() *Table {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p[0]] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	t := &Table{Title: f.Title, Headers: []string{f.XLabel}}
+	for _, s := range f.Series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%.6g", x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p[0] == x {
+					cell = fmt.Sprintf("%.6g", p[1])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// RenderASCII draws a crude character plot of the figure, good enough to
+// eyeball curve shapes in a terminal. Width and height are in characters.
+func (f *Figure) RenderASCII(w io.Writer, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := 0.0, 0.0
+	minY, maxY := 0.0, 0.0
+	first := true
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p[0], p[0], p[1], p[1]
+				first = false
+				continue
+			}
+			if p[0] < minX {
+				minX = p[0]
+			}
+			if p[0] > maxX {
+				maxX = p[0]
+			}
+			if p[1] < minY {
+				minY = p[1]
+			}
+			if p[1] > maxY {
+				maxY = p[1]
+			}
+		}
+	}
+	if first {
+		fmt.Fprintf(w, "%s: (no data)\n", f.Title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+	for si, s := range f.Series {
+		m := marks[si%len(marks)]
+		for _, p := range s.Points {
+			cx := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((p[1] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = m
+		}
+	}
+	fmt.Fprintf(w, "%s\n", f.Title)
+	fmt.Fprintf(w, "y: %s  [%.4g .. %.4g]\n", f.YLabel, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(row))
+	}
+	fmt.Fprintf(w, "x: %s  [%.4g .. %.4g]\n", f.XLabel, minX, maxX)
+	for si, s := range f.Series {
+		fmt.Fprintf(w, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(1024, 65000)
+		if v < 1024 || v > 65000 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+	}
+	if got := r.IntRange(7, 7); got != 7 {
+		t.Fatalf("degenerate IntRange = %d, want 7", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(21)
+	child := parent.Split()
+	// The child stream must not replay the parent stream.
+	a, b := parent.Uint64(), child.Uint64()
+	if a == b {
+		t.Fatal("split stream replayed parent stream")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate = %v", frac)
+	}
+}
+
+// Property: Float64 stays in [0,1) for arbitrary seeds.
+func TestQuickFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: same seed always yields the same first value.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		return NewRNG(seed).Uint64() == NewRNG(seed).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

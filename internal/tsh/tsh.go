@@ -1,0 +1,137 @@
+// Package tsh reads and writes TSH (Time Sequenced Headers) trace files, the
+// format of the NLANR traces the paper measures ("The measures were taken
+// from a TSH header trace file").
+//
+// A TSH record is exactly 44 bytes:
+//
+//	bytes  0..3   timestamp seconds (big endian)
+//	byte   4      interface number
+//	bytes  5..7   timestamp microseconds (24 bits, big endian)
+//	bytes  8..27  IPv4 header (20 bytes, no options)
+//	bytes 28..43  first 16 bytes of the TCP header (checksum and urgent
+//	              pointer are cut off)
+//
+// The package exposes a streaming Reader/Writer pair plus whole-file helpers.
+package tsh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"flowzip/internal/pkt"
+)
+
+// RecordLen is the fixed on-disk size of one TSH record.
+const RecordLen = 44
+
+// ErrShortRecord reports a truncated trailing record.
+var ErrShortRecord = errors.New("tsh: truncated record")
+
+// Writer streams packets to a TSH byte stream.
+type Writer struct {
+	w     io.Writer
+	iface byte
+	buf   [RecordLen]byte
+	n     int64
+}
+
+// NewWriter returns a Writer emitting records with interface number 0.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// SetInterface sets the interface byte stamped on subsequent records.
+func (w *Writer) SetInterface(iface byte) { w.iface = iface }
+
+// WritePacket appends one record.
+func (w *Writer) WritePacket(p *pkt.Packet) error {
+	sec := uint32(p.Timestamp / time.Second)
+	usec := uint32((p.Timestamp % time.Second) / time.Microsecond)
+	binary.BigEndian.PutUint32(w.buf[0:4], sec)
+	w.buf[4] = w.iface
+	w.buf[5] = byte(usec >> 16)
+	w.buf[6] = byte(usec >> 8)
+	w.buf[7] = byte(usec)
+	var hdr [pkt.HeaderBytes]byte
+	if _, err := p.MarshalHeaders(hdr[:]); err != nil {
+		return err
+	}
+	copy(w.buf[8:28], hdr[:pkt.IPHeaderLen])
+	copy(w.buf[28:44], hdr[pkt.IPHeaderLen:pkt.IPHeaderLen+16])
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("tsh: write record: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Reader streams packets from a TSH byte stream.
+type Reader struct {
+	r   io.Reader
+	buf [RecordLen]byte
+	n   int64
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadPacket decodes the next record. It returns io.EOF at a clean end of
+// stream and ErrShortRecord if the stream ends mid-record.
+func (r *Reader) ReadPacket(p *pkt.Packet) error {
+	n, err := io.ReadFull(r.r, r.buf[:])
+	if err == io.EOF && n == 0 {
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %d bytes", ErrShortRecord, n)
+	}
+	sec := binary.BigEndian.Uint32(r.buf[0:4])
+	usec := uint32(r.buf[5])<<16 | uint32(r.buf[6])<<8 | uint32(r.buf[7])
+	p.Timestamp = time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond
+	if err := p.UnmarshalHeaders(r.buf[8:44]); err != nil {
+		return fmt.Errorf("tsh: record %d: %w", r.n, err)
+	}
+	r.n++
+	return nil
+}
+
+// Interface returns the interface byte of the most recently read record.
+func (r *Reader) Interface() byte { return r.buf[4] }
+
+// Count returns the number of records read so far.
+func (r *Reader) Count() int64 { return r.n }
+
+// WriteAll writes a whole packet slice.
+func WriteAll(w io.Writer, packets []pkt.Packet) error {
+	tw := NewWriter(w)
+	for i := range packets {
+		if err := tw.WritePacket(&packets[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll decodes every record in the stream.
+func ReadAll(r io.Reader) ([]pkt.Packet, error) {
+	tr := NewReader(r)
+	var out []pkt.Packet
+	for {
+		var p pkt.Packet
+		err := tr.ReadPacket(&p)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+// Size returns the TSH file size in bytes for n packets.
+func Size(n int) int64 { return int64(n) * RecordLen }

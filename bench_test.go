@@ -7,6 +7,7 @@
 package flowzip_test
 
 import (
+	"fmt"
 	"io"
 	"strconv"
 	"strings"
@@ -216,6 +217,56 @@ func BenchmarkCacheAblation(b *testing.B) {
 // BenchmarkCompress measures codec throughput in packets/op terms.
 func BenchmarkCompress(b *testing.B) {
 	tr := sharedTrace()
+	b.SetBytes(int64(tr.Len()) * 44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compress(tr, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	benchLargeOnce sync.Once
+	benchLarge     *trace.Trace
+)
+
+// largeTrace builds the big deterministic Web trace for the parallel-scaling
+// benchmarks: enough packets that sharding has real work to distribute.
+func largeTrace() *trace.Trace {
+	benchLargeOnce.Do(func() {
+		cfg := flowzip.DefaultWebConfig()
+		cfg.Seed = 1
+		cfg.Flows = 20000
+		cfg.Duration = 60 * time.Second
+		benchLarge = flowzip.GenerateWeb(cfg)
+	})
+	return benchLarge
+}
+
+// BenchmarkCompressParallel measures the sharded pipeline on the large Web
+// trace across worker counts. workers=1 is the serial Compress path, so the
+// sub-benchmarks read directly as a scaling curve; speedup over serial needs
+// GOMAXPROCS > 1 (on a single-CPU host the sharded path only breaks even).
+func BenchmarkCompressParallel(b *testing.B) {
+	tr := largeTrace()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(tr.Len()) * 44)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressParallel(tr, core.DefaultOptions(), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompressLarge is the serial baseline over the same large trace as
+// BenchmarkCompressParallel, for direct comparison.
+func BenchmarkCompressLarge(b *testing.B) {
+	tr := largeTrace()
 	b.SetBytes(int64(tr.Len()) * 44)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

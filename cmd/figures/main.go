@@ -40,8 +40,15 @@ func main() {
 	flag.Parse()
 
 	cfg := figures.DefaultConfig()
-	if *scale == "paper" {
+	switch *scale {
+	case "default":
+	case "paper":
 		cfg = figures.PaperScaleConfig()
+	default:
+		log.Fatalf("unknown scale %q (want default or paper)", *scale)
+	}
+	if *flows < 0 {
+		log.Fatalf("-flows %d must be >= 0", *flows)
 	}
 	cfg.Seed = *seed
 	if *flows > 0 {

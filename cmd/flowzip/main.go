@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2]
+//	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2] [-workers 8]
 //	flowzip decompress -i web.fz -o back.tsh
 //	flowzip inspect   -i web.fz
 //	flowzip compare   -i web.tsh
@@ -102,9 +102,13 @@ func runCompress(args []string) {
 	w1 := fs.Int("w1", 16, "flag-class weight")
 	w2 := fs.Int("w2", 4, "dependence weight")
 	w3 := fs.Int("w3", 1, "size-class weight")
+	workers := fs.Int("workers", 0, "compression shards (0 = one per CPU, 1 = serial)")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("compress: -i required")
+	}
+	if *workers < 0 {
+		log.Fatalf("compress: -workers %d must be >= 0", *workers)
 	}
 
 	tr, err := trace.LoadFile(*in)
@@ -118,7 +122,7 @@ func runCompress(args []string) {
 	opts.ShortMax = *shortMax
 	opts.LimitPct = *limit
 	opts.Weights = flow.Weights{Flag: *w1, Dep: *w2, Size: *w3}
-	arch, err := core.Compress(tr, opts)
+	arch, err := core.CompressParallel(tr, opts, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

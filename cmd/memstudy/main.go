@@ -7,6 +7,7 @@
 //
 //	memstudy -i web.tsh -kernel Route -routes 100000
 //	memstudy -i web.tsh -base web.tsh -cache 16384 -ways 2 -block 32
+//	memstudy -i web.tsh -codec -workers 8   # study the codec round-trip
 //
 // The forwarding table covers the popular destination prefixes of -base
 // (default: the input trace itself) plus -routes random background routes.
@@ -18,6 +19,7 @@ import (
 	"log"
 	"os"
 
+	"flowzip/internal/core"
 	"flowzip/internal/memsim"
 	"flowzip/internal/netbench"
 	"flowzip/internal/stats"
@@ -29,24 +31,49 @@ func main() {
 	log.SetPrefix("memstudy: ")
 
 	var (
-		in     = flag.String("i", "", "input trace (.tsh or .pcap)")
-		base   = flag.String("base", "", "trace whose popular prefixes the table covers (default: input)")
-		kernel = flag.String("kernel", "Route", "kernel: Route, NAT or RTR")
-		routes = flag.Int("routes", 20000, "background routes in the table")
-		minSrc = flag.Int("minsrc", 5, "distinct sources for a /24 to qualify as covered")
-		cache  = flag.Int("cache", 16*1024, "cache size in bytes")
-		ways   = flag.Int("ways", 2, "cache associativity")
-		block  = flag.Int("block", 32, "cache block size in bytes")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		in      = flag.String("i", "", "input trace (.tsh or .pcap)")
+		base    = flag.String("base", "", "trace whose popular prefixes the table covers (default: input)")
+		kernel  = flag.String("kernel", "Route", "kernel: Route, NAT or RTR")
+		routes  = flag.Int("routes", 20000, "background routes in the table")
+		minSrc  = flag.Int("minsrc", 5, "distinct sources for a /24 to qualify as covered")
+		cache   = flag.Int("cache", 16*1024, "cache size in bytes")
+		ways    = flag.Int("ways", 2, "cache associativity")
+		block   = flag.Int("block", 32, "cache block size in bytes")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		codec   = flag.Bool("codec", false, "round-trip the trace through the flow-clustering codec first (the paper's decompressed-trace configuration)")
+		workers = flag.Int("workers", 0, "compression shards for -codec (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("-i required")
 	}
+	switch {
+	case *routes < 0:
+		log.Fatalf("-routes %d must be >= 0", *routes)
+	case *minSrc < 1:
+		log.Fatalf("-minsrc %d must be >= 1", *minSrc)
+	case *cache < 1 || *ways < 1 || *block < 1:
+		log.Fatalf("cache geometry must be positive: -cache %d -ways %d -block %d", *cache, *ways, *block)
+	case *workers < 0:
+		log.Fatalf("-workers %d must be >= 0", *workers)
+	}
 
 	tr, err := trace.LoadFile(*in)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *codec {
+		if !tr.IsSorted() {
+			tr.Sort()
+		}
+		arch, err := core.CompressParallel(tr, core.DefaultOptions(), *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err = core.Decompress(arch)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	baseTr := tr
 	if *base != "" && *base != *in {

@@ -46,6 +46,14 @@ func main() {
 	)
 	switch *kind {
 	case "web":
+		switch {
+		case *flows < 1:
+			log.Fatalf("-flows %d must be >= 1", *flows)
+		case *duration <= 0:
+			log.Fatalf("-duration %v must be positive", *duration)
+		case *servers < 1:
+			log.Fatalf("-servers %d must be >= 1", *servers)
+		}
 		cfg := flowgen.DefaultWebConfig()
 		cfg.Seed = *seed
 		cfg.Flows = *flows
@@ -63,6 +71,9 @@ func main() {
 		}
 		tr = flowgen.RandomizeAddresses(bt, *seed)
 	case "fractal":
+		if *packets < 1 {
+			log.Fatalf("-packets %d must be >= 1", *packets)
+		}
 		cfg := flowgen.DefaultFractalConfig()
 		cfg.Seed = *seed
 		cfg.Packets = *packets

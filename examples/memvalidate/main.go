@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -21,6 +22,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q: this example is configured by editing its source", flag.Args())
+	}
 
 	// Original trace.
 	cfg := flowzip.DefaultWebConfig()

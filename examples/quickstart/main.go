@@ -5,6 +5,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -14,6 +15,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q: this example is configured by editing its source", flag.Args())
+	}
 
 	// 1. Generate a Web header trace (the stand-in for a captured TSH file).
 	cfg := flowzip.DefaultWebConfig()

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -16,6 +17,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q: this example is configured by editing its source", flag.Args())
+	}
 	dir, err := os.MkdirTemp("", "flowzip-tracegen")
 	if err != nil {
 		log.Fatal(err)

@@ -20,6 +20,17 @@
 //	// ... persist with archive.Encode, inspect archive.Ratio() ...
 //	back, err := flowzip.Decompress(archive)
 //
+// For multi-million-packet traces, CompressParallel shards the pipeline
+// across CPU cores. Packets are partitioned by 5-tuple hash so every flow is
+// assembled by exactly one shard, each shard runs an independent flow table
+// and template store, and a deterministic merge re-clusters the shard
+// results into one archive. The output is byte-for-byte identical to the
+// serial Compress — same datasets, same template numbering, same Ratio —
+// so the two are interchangeable:
+//
+//	archive, err := flowzip.CompressParallel(tr, flowzip.DefaultOptions(), 0)
+//	// workers <= 0 means one shard per CPU; workers == 1 is the serial path
+//
 // The subsystems behind the facade live in internal/ (see DESIGN.md for the
 // map); the cmd/ binaries and examples/ directory show complete pipelines,
 // including the paper's figure reproductions.
@@ -111,6 +122,15 @@ func RandomizeAddresses(tr *Trace, seed uint64) *Trace {
 // Compress runs the flow-clustering compressor over a timestamp-sorted
 // trace.
 func Compress(tr *Trace, opts Options) (*Archive, error) { return core.Compress(tr, opts) }
+
+// CompressParallel runs the compressor sharded across workers goroutines,
+// partitioning packets by 5-tuple hash and deterministically merging the
+// per-shard results. The archive is byte-for-byte identical to the serial
+// Compress output. workers <= 0 uses one shard per CPU; workers == 1 is the
+// serial path.
+func CompressParallel(tr *Trace, opts Options, workers int) (*Archive, error) {
+	return core.CompressParallel(tr, opts, workers)
+}
 
 // NewCompressor returns a streaming compressor for packet-at-a-time use.
 func NewCompressor(opts Options) (*Compressor, error) { return core.NewCompressor(opts) }

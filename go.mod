@@ -1,0 +1,3 @@
+module flowzip
+
+go 1.23

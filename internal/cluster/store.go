@@ -27,6 +27,7 @@ type Store struct {
 	byLen     map[int][]*Template
 	templates []*Template
 	limit     func(n int) int
+	memo      map[string]*Template // exact-vector Match cache, nil unless enabled
 	matches   int64
 	misses    int64
 }
@@ -40,6 +41,24 @@ func NewStore() *Store { return NewStoreLimit(flow.DistanceLimit) }
 // inter flow distance").
 func NewStoreLimit(limit func(n int) int) *Store {
 	return &Store{byLen: make(map[int][]*Template), limit: limit}
+}
+
+// EnableMemo turns on the exact-duplicate match cache and returns the store.
+// Match then resolves a vector identical to one it has already seen with one
+// map lookup instead of a linear bucket scan.
+//
+// The cache is exact: buckets are append-only and the limit function is fixed
+// per store, so the first template within the limit of a given vector — the
+// first-fit answer — never changes once computed, and a memoized Match is
+// indistinguishable from the linear scan. Traffic workloads repeat a small
+// set of flow shapes constantly, which makes the hit rate high; the parallel
+// compressor's merge step relies on this to re-cluster shard results without
+// re-paying the full search per flow.
+func (s *Store) EnableMemo() *Store {
+	if s.memo == nil {
+		s.memo = make(map[string]*Template)
+	}
+	return s
 }
 
 // Find returns the first template within the distance limit of v, or nil.
@@ -71,14 +90,30 @@ func (s *Store) FindNearest(v flow.Vector) (*Template, int) {
 // matching template and created=false, or installs v as a new cluster center
 // and returns it with created=true.
 func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
+	if s.memo != nil {
+		// The distance recheck keeps a zero limit honest: a cached template
+		// created from an identical vector is at distance 0, which only
+		// counts as a match when the limit admits it.
+		if t, ok := s.memo[string(v)]; ok && flow.Distance(t.Vector, v) < s.limit(len(v)) {
+			t.Members++
+			s.matches++
+			return t, false
+		}
+	}
 	if t := s.Find(v); t != nil {
 		t.Members++
 		s.matches++
+		if s.memo != nil {
+			s.memo[string(v)] = t
+		}
 		return t, false
 	}
 	t = &Template{ID: len(s.templates), Vector: append(flow.Vector(nil), v...), Members: 1}
 	s.templates = append(s.templates, t)
 	s.byLen[len(v)] = append(s.byLen[len(v)], t)
+	if s.memo != nil {
+		s.memo[string(v)] = t
+	}
 	s.misses++
 	return t, true
 }

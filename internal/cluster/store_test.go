@@ -175,3 +175,75 @@ func TestQuickCentersSeparated(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: a memoized store is observationally identical to a plain one —
+// same template ids, same created flags, same Members, same hit rate — for
+// any Match sequence. This is what lets the parallel compressor's merge use
+// the memo while reproducing serial output exactly.
+func TestQuickMemoTransparent(t *testing.T) {
+	f := func(raw [][4]uint8, dup []uint8) bool {
+		// Interleave fresh vectors with forced duplicates so the memo path
+		// actually fires.
+		var seq []flow.Vector
+		for i, r := range raw {
+			seq = append(seq, flow.Vector(r[:]))
+			if len(dup) > 0 {
+				seq = append(seq, flow.Vector(raw[int(dup[i%len(dup)])%len(raw)][:]))
+			}
+		}
+		plain, memo := NewStore(), NewStore().EnableMemo()
+		for _, v := range seq {
+			pt, pc := plain.Match(v)
+			mt, mc := memo.Match(v)
+			if pt.ID != mt.ID || pc != mc || pt.Members != mt.Members {
+				return false
+			}
+		}
+		if plain.Len() != memo.Len() || plain.HitRate() != memo.HitRate() {
+			return false
+		}
+		for i, tpl := range plain.Templates() {
+			if flow.Distance(tpl.Vector, memo.Templates()[i].Vector) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A zero distance limit disables clustering: every Match creates a template,
+// and the memo must not short-circuit that.
+func TestMemoZeroLimit(t *testing.T) {
+	s := NewStoreLimit(func(int) int { return 0 }).EnableMemo()
+	v := flow.Vector{1, 2, 3}
+	for i := 0; i < 5; i++ {
+		tpl, created := s.Match(v)
+		if !created {
+			t.Fatalf("match %d: reused template %d under zero limit", i, tpl.ID)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("expected 5 templates, got %d", s.Len())
+	}
+}
+
+// An exact (limit 1) memoized store groups identical vectors only — the
+// configuration the parallel compressor's shard stores rely on.
+func TestMemoExactStore(t *testing.T) {
+	s := NewStoreLimit(func(int) int { return 1 }).EnableMemo()
+	a := flow.Vector{10, 20, 30}
+	b := flow.Vector{10, 20, 31} // distance 1: similar, but not identical
+	t1, created := s.Match(a)
+	if !created {
+		t.Fatal("first vector should create")
+	}
+	if tpl, created := s.Match(append(flow.Vector(nil), a...)); created || tpl.ID != t1.ID {
+		t.Fatal("identical vector should reuse the template")
+	}
+	if _, created := s.Match(b); !created {
+		t.Fatal("near-but-distinct vector must create its own template")
+	}
+}

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"flowzip/internal/cluster"
 	"flowzip/internal/flow"
@@ -115,7 +116,7 @@ func (c *Compressor) Finish() *Archive {
 		shorts[i] = t.Vector
 	}
 	recs := append([]TimeSeqRecord(nil), c.timeSeq...)
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].FirstTS < recs[j].FirstTS })
+	slices.SortStableFunc(recs, func(a, b TimeSeqRecord) int { return cmp.Compare(a.FirstTS, b.FirstTS) })
 
 	return &Archive{
 		ShortTemplates: shorts,
@@ -131,10 +132,16 @@ func (c *Compressor) Finish() *Archive {
 // Stats returns the counters accumulated so far.
 func (c *Compressor) Stats() CompressStats { return c.stats }
 
+// notSortedError is shared by the serial and parallel entry points so both
+// reject unsorted input identically.
+func notSortedError(tr *trace.Trace) error {
+	return fmt.Errorf("core: trace %q is not timestamp sorted", tr.Name)
+}
+
 // Compress runs the whole pipeline over a trace.
 func Compress(tr *trace.Trace, opts Options) (*Archive, error) {
 	if !tr.IsSorted() {
-		return nil, fmt.Errorf("core: trace %q is not timestamp sorted", tr.Name)
+		return nil, notSortedError(tr)
 	}
 	c, err := NewCompressor(opts)
 	if err != nil {

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"cmp"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"flowzip/internal/cluster"
+	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+	"flowzip/internal/tsh"
+)
+
+// The sharded parallel pipeline splits compression into three phases:
+//
+//  1. Partition: every packet is assigned a shard by the FNV hash of its
+//     canonical 5-tuple (flow.Partition), so both directions of a
+//     conversation land in the same shard and shards are independent.
+//  2. Shard compression: one worker per shard assembles flows with a private
+//     flow.Table and deduplicates short-flow vectors in a private
+//     exact-match cluster.Store. Each finalized flow is captured as a
+//     shardFlow — vector, timing and the global index of the packet that
+//     closed it — so the merge never has to touch packets again.
+//  3. Merge: shard results are interleaved back into the exact order the
+//     serial compressor would have finalized them (closing-packet order,
+//     then flush order), shard-local templates are re-clustered into one
+//     global store, and template/address indices are renumbered as the
+//     replay proceeds. The time-seq dataset is then timestamp-sorted exactly
+//     as in Compressor.Finish.
+//
+// Because the merge replays finalization in serial order against a store
+// with serial first-fit semantics (see Store.EnableMemo), the resulting
+// Archive is byte-for-byte identical to the serial Compress output — same
+// template numbering, same address numbering, same Ratio.
+
+// DefaultWorkers is the worker count CompressParallel uses when workers <= 0:
+// the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// flushMark orders flows finalized by the end-of-trace flush after every
+// flow closed by a FIN/RST pair, mirroring the serial compressor.
+const flushMark = int64(math.MaxInt64)
+
+// shardFlow is one finalized flow as captured by a shard worker: everything
+// the merge needs to replay the serial finalize step.
+type shardFlow struct {
+	closeIdx int64 // global index of the closing packet; flushMark when flushed
+	firstTS  time.Duration
+	hash     uint64
+	server   pkt.IPv4
+	long     bool
+	shard    uint16
+	tpl      int32           // short flows: shard-store template id
+	rtt      time.Duration   // short flows
+	longF    flow.Vector     // long flows
+	gaps     []time.Duration // long flows
+}
+
+// shardState is the output of one shard worker.
+type shardState struct {
+	flows []shardFlow
+	store *cluster.Store // exact-duplicate short-vector store
+}
+
+// exactLimit makes a cluster.Store group only identical vectors: the L1
+// distance must be strictly below 1, i.e. zero. Shard stores use it so the
+// lossy similarity decision is deferred to the deterministic merge.
+func exactLimit(int) int { return 1 }
+
+// compressShard assembles and characterizes the flows of one shard. bucket
+// holds the shard's packet indices in global (timestamp) order.
+func compressShard(tr *trace.Trace, opts Options, bucket []int32, sid uint16) *shardState {
+	st := &shardState{store: cluster.NewStoreLimit(exactLimit).EnableMemo()}
+	cur := int64(0)
+	table := flow.NewTable(func(f *flow.Flow) {
+		sf := shardFlow{
+			closeIdx: cur,
+			firstTS:  f.FirstTimestamp(),
+			hash:     f.Hash,
+			server:   f.ServerIP,
+			shard:    sid,
+		}
+		v := f.Vector(opts.Weights)
+		if f.Len() <= opts.ShortMax {
+			t, _ := st.store.Match(v)
+			sf.tpl = int32(t.ID)
+			sf.rtt = f.EstimateRTT()
+		} else {
+			sf.long = true
+			sf.longF = v
+			sf.gaps = f.InterPacketTimes()
+		}
+		st.flows = append(st.flows, sf)
+	})
+	for _, i := range bucket {
+		cur = int64(i)
+		table.Add(&tr.Packets[i])
+	}
+	cur = flushMark
+	table.Flush()
+	return st
+}
+
+// CompressParallel compresses tr across workers shards and merges the
+// results into an archive semantically identical to Compress(tr, opts) —
+// byte-for-byte equal once encoded, hence with an identical Ratio. workers
+// <= 0 selects DefaultWorkers; one worker falls back to the serial path.
+func CompressParallel(tr *trace.Trace, opts Options, workers int) (*Archive, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > flow.MaxShards {
+		workers = flow.MaxShards
+	}
+	if workers == 1 {
+		return Compress(tr, opts)
+	}
+	if !tr.IsSorted() {
+		return nil, notSortedError(tr)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+
+	ids := flow.Partition(tr.Packets, workers, workers)
+
+	// Bucket packet indices per shard so each worker walks only its own
+	// packets rather than rescanning the whole id array. Indices fit int32:
+	// an in-memory trace is bounded far below 2^31 packets.
+	counts := make([]int, workers)
+	for _, id := range ids {
+		counts[id]++
+	}
+	buckets := make([][]int32, workers)
+	for w := range buckets {
+		buckets[w] = make([]int32, 0, counts[w])
+	}
+	for i, id := range ids {
+		buckets[id] = append(buckets[id], int32(i))
+	}
+
+	shards := make([]*shardState, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shards[w] = compressShard(tr, opts, buckets[w], uint16(w))
+		}(w)
+	}
+	wg.Wait()
+
+	return mergeShards(tr.Len(), opts, shards), nil
+}
+
+// mergeShards interleaves shard results into serial finalize order and
+// replays them against a global template store, renumbering template and
+// address indices.
+func mergeShards(packets int, opts Options, shards []*shardState) *Archive {
+	total := 0
+	for _, s := range shards {
+		total += len(s.flows)
+	}
+	merged := make([]*shardFlow, 0, total)
+	for _, s := range shards {
+		for i := range s.flows {
+			merged = append(merged, &s.flows[i])
+		}
+	}
+	// Serial finalize order: flows close at their closing packet (unique
+	// global index), then the flush emits the remainder by (first timestamp,
+	// hash) — the same comparator as flow.Table.Flush.
+	slices.SortFunc(merged, func(a, b *shardFlow) int {
+		if c := cmp.Compare(a.closeIdx, b.closeIdx); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.firstTS, b.firstTS); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.hash, b.hash)
+	})
+
+	store := cluster.NewStoreLimit(opts.limit()).EnableMemo()
+	addrIdx := make(map[pkt.IPv4]uint32)
+	var addrs []pkt.IPv4
+	var long []LongTemplate
+	recs := make([]TimeSeqRecord, 0, total)
+	for _, sf := range merged {
+		rec := TimeSeqRecord{FirstTS: sf.firstTS}
+		idx, ok := addrIdx[sf.server]
+		if !ok {
+			idx = uint32(len(addrs))
+			addrs = append(addrs, sf.server)
+			addrIdx[sf.server] = idx
+		}
+		rec.Addr = idx
+		if sf.long {
+			rec.Long = true
+			rec.Template = uint32(len(long))
+			long = append(long, LongTemplate{F: sf.longF, Gaps: sf.gaps})
+		} else {
+			t, _ := store.Match(shards[sf.shard].store.Templates()[sf.tpl].Vector)
+			rec.Template = uint32(t.ID)
+			rec.RTT = sf.rtt
+		}
+		recs = append(recs, rec)
+	}
+
+	shorts := make([]flow.Vector, store.Len())
+	for i, t := range store.Templates() {
+		shorts[i] = t.Vector
+	}
+	slices.SortStableFunc(recs, func(a, b TimeSeqRecord) int { return cmp.Compare(a.FirstTS, b.FirstTS) })
+
+	return &Archive{
+		ShortTemplates: shorts,
+		LongTemplates:  long,
+		Addresses:      addrs,
+		TimeSeq:        recs,
+		Opts:           opts,
+		SourcePackets:  int64(packets),
+		SourceTSHBytes: tsh.Size(packets),
+	}
+}

@@ -1,0 +1,51 @@
+package flow
+
+import (
+	"fmt"
+	"sync"
+
+	"flowzip/internal/pkt"
+)
+
+// MaxShards bounds Partition's fan-out. Shard ids are byte-sized so a
+// partition of a multi-million-packet trace stays one byte per packet.
+const MaxShards = 256
+
+// Partition assigns every packet to one of shards buckets by the FNV hash of
+// its canonical 5-tuple. Both directions of a conversation share a canonical
+// key, so every packet of a flow lands in the same bucket and each bucket can
+// be assembled by an independent Table. The scan is split across parallelism
+// goroutines; the result is deterministic regardless of parallelism.
+//
+// shards must be in [1, MaxShards]; Partition panics otherwise (a programmer
+// error, not an input condition).
+func Partition(packets []pkt.Packet, shards, parallelism int) []uint8 {
+	if shards < 1 || shards > MaxShards {
+		panic(fmt.Sprintf("flow: Partition shards %d outside [1,%d]", shards, MaxShards))
+	}
+	n := len(packets)
+	ids := make([]uint8, n)
+	if shards == 1 || n == 0 {
+		return ids
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	chunk := (n + parallelism - 1) / parallelism
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				ids[i] = uint8(packets[i].Key().Hash() % uint64(shards))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ids
+}

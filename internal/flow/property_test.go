@@ -117,3 +117,52 @@ func TestQuickFirstPacketNotDependent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: Partition is deterministic, respects the shard bound, keeps both
+// directions of a conversation in one shard, and does not depend on the
+// parallelism used to compute it.
+func TestQuickPartition(t *testing.T) {
+	f := func(raw []uint32, shardsRaw uint8, par uint8) bool {
+		shards := int(shardsRaw)%MaxShards + 1
+		var packets []pkt.Packet
+		for i, v := range raw {
+			packets = append(packets, pkt.Packet{
+				Timestamp: time.Duration(i) * time.Millisecond,
+				SrcIP:     pkt.IPv4(v),
+				DstIP:     pkt.IPv4(v >> 3),
+				SrcPort:   uint16(v),
+				DstPort:   80,
+				Proto:     pkt.ProtoTCP,
+			})
+			// The reverse direction of the same conversation.
+			packets = append(packets, pkt.Packet{
+				Timestamp: time.Duration(i)*time.Millisecond + time.Microsecond,
+				SrcIP:     pkt.IPv4(v >> 3),
+				DstIP:     pkt.IPv4(v),
+				SrcPort:   80,
+				DstPort:   uint16(v),
+				Proto:     pkt.ProtoTCP,
+			})
+		}
+		ids := Partition(packets, shards, int(par%8)+1)
+		serial := Partition(packets, shards, 1)
+		if len(ids) != len(packets) {
+			return false
+		}
+		byKey := map[pkt.FlowKey]uint8{}
+		for i := range packets {
+			if ids[i] != serial[i] || int(ids[i]) >= shards {
+				return false
+			}
+			k := packets[i].Key()
+			if prev, ok := byKey[k]; ok && prev != ids[i] {
+				return false // flow split across shards
+			}
+			byKey[k] = ids[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

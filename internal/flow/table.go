@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 	"time"
 
@@ -169,20 +171,19 @@ func (t *Table) finalize(key pkt.FlowKey, fl *Flow) {
 
 // Flush finalizes every still-active flow (end of trace).
 func (t *Table) Flush() {
-	keys := make([]pkt.FlowKey, 0, len(t.active))
-	for k := range t.active {
-		keys = append(keys, k)
+	flows := make([]*Flow, 0, len(t.active))
+	for _, fl := range t.active {
+		flows = append(flows, fl)
 	}
 	// Deterministic order: by first packet timestamp, then hash.
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := t.active[keys[i]], t.active[keys[j]]
-		if a.FirstTimestamp() != b.FirstTimestamp() {
-			return a.FirstTimestamp() < b.FirstTimestamp()
+	slices.SortFunc(flows, func(a, b *Flow) int {
+		if c := cmp.Compare(a.FirstTimestamp(), b.FirstTimestamp()); c != 0 {
+			return c
 		}
-		return a.Hash < b.Hash
+		return cmp.Compare(a.Hash, b.Hash)
 	})
-	for _, k := range keys {
-		t.finalize(k, t.active[k])
+	for _, fl := range flows {
+		t.finalize(fl.Key, fl)
 	}
 }
 

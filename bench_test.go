@@ -263,6 +263,27 @@ func BenchmarkCompressParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCompressStream measures the streaming pipeline over the large
+// Web trace: same shard workers as BenchmarkCompressParallel, but fed in
+// batches through the bounded channels rather than from a resident trace.
+// The gap between the two is the streaming overhead (packet copying plus
+// channel traffic).
+func BenchmarkCompressStream(b *testing.B) {
+	tr := largeTrace()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(tr.Len()) * 44)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := trace.Batches(tr, 4096)
+				if _, err := core.CompressStream(src, core.DefaultOptions(), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompressLarge is the serial baseline over the same large trace as
 // BenchmarkCompressParallel, for direct comparison.
 func BenchmarkCompressLarge(b *testing.B) {

@@ -4,9 +4,17 @@
 // Usage:
 //
 //	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2] [-workers 8]
+//	flowzip compress  -i big.pcap -o big.fz -stream [-maxresident N] [-progress]
 //	flowzip decompress -i web.fz -o back.tsh
 //	flowzip inspect   -i web.fz
 //	flowzip compare   -i web.tsh
+//
+// -workers selects the compression shards: 0 (the default) uses one shard
+// per CPU, 1 runs the serial pipeline; serial, parallel and streaming modes
+// all produce byte-identical archives. -stream reads the input
+// incrementally — a timestamp-sorted capture of any size compresses in
+// bounded memory, with -maxresident capping the packets resident in the
+// pipeline.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"os"
 
 	"flowzip/internal/baseline"
+	"flowzip/internal/cli"
 	"flowzip/internal/core"
 	"flowzip/internal/flow"
 	"flowzip/internal/stats"
@@ -102,29 +111,63 @@ func runCompress(args []string) {
 	w1 := fs.Int("w1", 16, "flag-class weight")
 	w2 := fs.Int("w2", 4, "dependence weight")
 	w3 := fs.Int("w3", 1, "size-class weight")
-	workers := fs.Int("workers", 0, "compression shards (0 = one per CPU, 1 = serial)")
+	workers := cli.WorkersFlag(fs, "compression shards")
+	stream := fs.Bool("stream", false, "stream the input in bounded memory (requires timestamp-sorted input)")
+	maxResident := cli.MaxResidentFlag(fs)
+	progress := fs.Bool("progress", false, "streaming: report packet progress on stderr")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("compress: -i required")
 	}
-	if *workers < 0 {
-		log.Fatalf("compress: -workers %d must be >= 0", *workers)
+	if err := cli.ValidateWorkers(*workers); err != nil {
+		log.Fatal("compress: ", err)
+	}
+	if err := cli.ValidateMaxResident(*maxResident); err != nil {
+		log.Fatal("compress: ", err)
 	}
 
-	tr, err := trace.LoadFile(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !tr.IsSorted() {
-		tr.Sort()
-	}
+	var arch *core.Archive
 	opts := core.DefaultOptions()
 	opts.ShortMax = *shortMax
 	opts.LimitPct = *limit
 	opts.Weights = flow.Weights{Flag: *w1, Dep: *w2, Size: *w3}
-	arch, err := core.CompressParallel(tr, opts, *workers)
-	if err != nil {
-		log.Fatal(err)
+	if *stream {
+		// The residency window only covers the pipeline; cap the source's
+		// read batch too so a small -maxresident is honored end to end.
+		batch := trace.DefaultBatch
+		if *maxResident < batch {
+			batch = *maxResident
+		}
+		src, err := trace.OpenStream(*in, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer src.Close()
+		cfg := core.StreamConfig{Workers: *workers, MaxResident: *maxResident}
+		if *progress {
+			cfg.Progress = func(packets int64) {
+				fmt.Fprintf(os.Stderr, "\rflowzip: compressed %d packets", packets)
+			}
+		}
+		arch, err = core.CompressStreamConfig(src, opts, cfg)
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		tr, err := trace.LoadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !tr.IsSorted() {
+			tr.Sort()
+		}
+		arch, err = core.CompressParallel(tr, opts, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {

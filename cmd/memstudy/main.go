@@ -11,6 +11,9 @@
 //
 // The forwarding table covers the popular destination prefixes of -base
 // (default: the input trace itself) plus -routes random background routes.
+// -workers selects the -codec compression shards: 0 (the default) uses one
+// shard per CPU, 1 runs the serial pipeline — the round-tripped trace is
+// identical either way.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"log"
 	"os"
 
+	"flowzip/internal/cli"
 	"flowzip/internal/core"
 	"flowzip/internal/memsim"
 	"flowzip/internal/netbench"
@@ -41,7 +45,7 @@ func main() {
 		block   = flag.Int("block", 32, "cache block size in bytes")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		codec   = flag.Bool("codec", false, "round-trip the trace through the flow-clustering codec first (the paper's decompressed-trace configuration)")
-		workers = flag.Int("workers", 0, "compression shards for -codec (0 = one per CPU, 1 = serial)")
+		workers = cli.WorkersFlag(flag.CommandLine, "compression shards for -codec")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -54,8 +58,9 @@ func main() {
 		log.Fatalf("-minsrc %d must be >= 1", *minSrc)
 	case *cache < 1 || *ways < 1 || *block < 1:
 		log.Fatalf("cache geometry must be positive: -cache %d -ways %d -block %d", *cache, *ways, *block)
-	case *workers < 0:
-		log.Fatalf("-workers %d must be >= 0", *workers)
+	}
+	if err := cli.ValidateWorkers(*workers); err != nil {
+		log.Fatal(err)
 	}
 
 	tr, err := trace.LoadFile(*in)

@@ -1,0 +1,57 @@
+// Package flowzip is a lossy packet-trace compressor based on TCP flow
+// clustering, reproducing Holanda, Verdú, García and Valero, "Performance
+// Analysis of a New Packet Trace Compressor based on TCP Flow Clustering"
+// (ISPASS 2005).
+//
+// The compressor reduces TCP/IP header traces to a few percent of their
+// original size by exploiting the similarity of Web flows: each flow maps
+// to a small integer vector (TCP flag class, acknowledgment dependence and
+// payload-size class per packet, weighted 16/4/1), similar vectors share a
+// cluster template, and the compressed file stores four datasets —
+// short-flow templates, long-flow templates, unique destination addresses
+// and a per-flow time-seq index. Decompression regenerates a synthetic
+// trace preserving the statistical properties that matter for
+// memory-system studies of network code.
+//
+// # Quick start
+//
+//	tr := flowzip.GenerateWeb(flowzip.DefaultWebConfig())
+//	archive, err := flowzip.Compress(tr, flowzip.DefaultOptions())
+//	// ... persist with archive.Encode, inspect archive.Ratio() ...
+//	back, err := flowzip.Decompress(archive)
+//
+// # Parallel compression
+//
+// For multi-million-packet traces, CompressParallel shards the pipeline
+// across CPU cores. Packets are partitioned by 5-tuple hash so every flow is
+// assembled by exactly one shard, each shard runs an independent flow table
+// and template store, and a deterministic merge re-clusters the shard
+// results into one archive. The output is byte-for-byte identical to the
+// serial Compress — same datasets, same template numbering, same Ratio —
+// so the two are interchangeable:
+//
+//	archive, err := flowzip.CompressParallel(tr, flowzip.DefaultOptions(), 0)
+//	// workers <= 0 means one shard per CPU; workers == 1 is the serial path
+//
+// # Streaming compression
+//
+// Captures larger than memory compress through the PacketSource seam:
+// CompressStream pulls batches from a source, partitions them by the same
+// 5-tuple hash and feeds the shard workers through bounded channels with
+// backpressure, so resident packets stay bounded by a window rather than
+// the capture size. The archive is still byte-identical to serial Compress
+// over the same packets:
+//
+//	src, err := flowzip.OpenPcap("capture.pcap")
+//	defer src.Close()
+//	archive, err := flowzip.CompressStream(src, flowzip.DefaultOptions(), 0)
+//
+// TraceSource streams an in-memory trace, OpenPcap a capture file, and
+// StreamWeb the synthetic Web generator (in bounded memory, identical to
+// GenerateWeb). CompressStreamConfig adds the residency window and progress
+// reporting.
+//
+// The subsystems behind the facade live in internal/ (see ARCHITECTURE.md
+// for the map); the cmd/ binaries and examples/ directory show complete
+// pipelines, including the paper's figure reproductions.
+package flowzip

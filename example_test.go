@@ -3,6 +3,8 @@ package flowzip_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"flowzip"
@@ -56,6 +58,68 @@ func ExampleArchive_Encode() {
 	fmt.Println("round trip flows:", loaded.Flows() == archive.Flows())
 	// Output:
 	// round trip flows: true
+}
+
+// ExampleCompressStream compresses a packet stream without materializing
+// it, and shows the archive is byte-identical to the in-memory path.
+func ExampleCompressStream() {
+	cfg := flowzip.DefaultWebConfig()
+	cfg.Seed = 4
+	cfg.Flows = 150
+	cfg.Duration = 2 * time.Second
+
+	// Any PacketSource works: here the bounded-memory Web generator.
+	archive, err := flowzip.CompressStream(flowzip.StreamWeb(cfg, 256), flowzip.DefaultOptions(), 4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	serial, _ := flowzip.Compress(flowzip.GenerateWeb(cfg), flowzip.DefaultOptions())
+	var sb, tb bytes.Buffer
+	archive.Encode(&sb)
+	serial.Encode(&tb)
+	fmt.Println("flows:", archive.Flows())
+	fmt.Println("identical to serial:", bytes.Equal(sb.Bytes(), tb.Bytes()))
+	// Output:
+	// flows: 150
+	// identical to serial: true
+}
+
+// ExampleOpenPcap streams a capture file through the compressor in bounded
+// memory.
+func ExampleOpenPcap() {
+	dir, err := os.MkdirTemp("", "flowzip-example")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := flowzip.DefaultWebConfig()
+	cfg.Seed = 6
+	cfg.Flows = 80
+	cfg.Duration = time.Second
+	path := filepath.Join(dir, "web.pcap")
+	if err := flowzip.GenerateWeb(cfg).SaveFile(path); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	src, err := flowzip.OpenPcap(path)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer src.Close()
+	archive, err := flowzip.CompressStream(src, flowzip.DefaultOptions(), 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("flows:", archive.Flows())
+	// Output:
+	// flows: 80
 }
 
 // ExampleSynthesize generates new traffic from an archive's model.

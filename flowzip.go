@@ -1,39 +1,3 @@
-// Package flowzip is a lossy packet-trace compressor based on TCP flow
-// clustering, reproducing Holanda, Verdú, García and Valero, "Performance
-// Analysis of a New Packet Trace Compressor based on TCP Flow Clustering"
-// (ISPASS 2005).
-//
-// The compressor reduces TCP/IP header traces to a few percent of their
-// original size by exploiting the similarity of Web flows: each flow maps
-// to a small integer vector (TCP flag class, acknowledgment dependence and
-// payload-size class per packet, weighted 16/4/1), similar vectors share a
-// cluster template, and the compressed file stores four datasets —
-// short-flow templates, long-flow templates, unique destination addresses
-// and a per-flow time-seq index. Decompression regenerates a synthetic
-// trace preserving the statistical properties that matter for
-// memory-system studies of network code.
-//
-// Quick start:
-//
-//	tr := flowzip.GenerateWeb(flowzip.DefaultWebConfig())
-//	archive, err := flowzip.Compress(tr, flowzip.DefaultOptions())
-//	// ... persist with archive.Encode, inspect archive.Ratio() ...
-//	back, err := flowzip.Decompress(archive)
-//
-// For multi-million-packet traces, CompressParallel shards the pipeline
-// across CPU cores. Packets are partitioned by 5-tuple hash so every flow is
-// assembled by exactly one shard, each shard runs an independent flow table
-// and template store, and a deterministic merge re-clusters the shard
-// results into one archive. The output is byte-for-byte identical to the
-// serial Compress — same datasets, same template numbering, same Ratio —
-// so the two are interchangeable:
-//
-//	archive, err := flowzip.CompressParallel(tr, flowzip.DefaultOptions(), 0)
-//	// workers <= 0 means one shard per CPU; workers == 1 is the serial path
-//
-// The subsystems behind the facade live in internal/ (see DESIGN.md for the
-// map); the cmd/ binaries and examples/ directory show complete pipelines,
-// including the paper's figure reproductions.
 package flowzip
 
 import (
@@ -43,6 +7,7 @@ import (
 	"flowzip/internal/core"
 	"flowzip/internal/flow"
 	"flowzip/internal/flowgen"
+	"flowzip/internal/pcap"
 	"flowzip/internal/pkt"
 	"flowzip/internal/trace"
 )
@@ -74,7 +39,21 @@ type (
 	Compressor = core.Compressor
 	// Method is a compression scheme under comparison (baselines).
 	Method = baseline.Method
+	// PacketSource is a pull-based packet stream — the input seam of
+	// CompressStream. Implementations: TraceSource, OpenPcap, StreamWeb.
+	PacketSource = core.PacketSource
+	// StreamConfig tunes CompressStreamConfig (workers, residency window,
+	// progress reporting).
+	StreamConfig = core.StreamConfig
+	// PcapSource streams a pcap capture file in bounded batches.
+	PcapSource = pcap.Source
+	// WebSource streams the synthetic Web generator in bounded memory.
+	WebSource = flowgen.WebSource
 )
+
+// DefaultMaxResident is CompressStream's default bound on packets resident
+// in the pipeline.
+const DefaultMaxResident = core.DefaultMaxResident
 
 // DefaultOptions returns the paper's codec parameters
 // (weights 16/4/1, short flows up to 50 packets, 2% similarity threshold).
@@ -131,6 +110,36 @@ func Compress(tr *Trace, opts Options) (*Archive, error) { return core.Compress(
 func CompressParallel(tr *Trace, opts Options, workers int) (*Archive, error) {
 	return core.CompressParallel(tr, opts, workers)
 }
+
+// CompressStream compresses a packet stream without materializing it:
+// batches from src are partitioned by 5-tuple hash and fed to the shard
+// workers through bounded channels with backpressure, so resident packets
+// stay bounded by the window (DefaultMaxResident here) rather than the
+// stream length. The archive is byte-for-byte identical to the serial
+// Compress over the same packets. Packets must arrive in timestamp order;
+// workers <= 0 uses one shard per CPU.
+func CompressStream(src PacketSource, opts Options, workers int) (*Archive, error) {
+	return core.CompressStream(src, opts, workers)
+}
+
+// CompressStreamConfig is CompressStream with an explicit residency window
+// and progress reporting.
+func CompressStreamConfig(src PacketSource, opts Options, cfg StreamConfig) (*Archive, error) {
+	return core.CompressStreamConfig(src, opts, cfg)
+}
+
+// OpenPcap opens a capture file as a bounded-memory PacketSource for
+// CompressStream. Close the source when done.
+func OpenPcap(path string) (*PcapSource, error) { return pcap.Open(path, 0) }
+
+// TraceSource streams an in-memory trace in batches of the given size
+// (<= 0 selects a default); the trace must not be mutated while in use.
+func TraceSource(tr *Trace, batch int) PacketSource { return trace.Batches(tr, batch) }
+
+// StreamWeb returns a bounded-memory streaming variant of GenerateWeb: the
+// emitted packet sequence is identical, but only the conversations
+// overlapping in time are resident. batch <= 0 selects a default.
+func StreamWeb(cfg WebConfig, batch int) *WebSource { return flowgen.NewWebSource(cfg, batch) }
 
 // NewCompressor returns a streaming compressor for packet-at-a-time use.
 func NewCompressor(opts Options) (*Compressor, error) { return core.NewCompressor(opts) }

@@ -1,0 +1,57 @@
+// Package cli centralizes the flag definitions shared by the cmd/ binaries,
+// so every command registers the same flag with the same help text and the
+// same validation. The usage strings are generated from one template per
+// flag — a command can neither drift from the canonical semantics nor omit
+// the documented defaults.
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"flowzip/internal/core"
+	"flowzip/internal/flow"
+)
+
+// workersTemplate is the single source of the -workers help text. Every
+// binary that exposes the flag renders its usage from this template, so the
+// default semantics (0 = one shard per CPU, 1 = the serial pipeline) are
+// documented identically everywhere.
+const workersTemplate = "%s: 0 = one shard per CPU (default), 1 = the serial pipeline, capped at %d"
+
+// WorkersUsage renders the canonical -workers help text for the given
+// purpose ("compression shards", ...).
+func WorkersUsage(purpose string) string {
+	return fmt.Sprintf(workersTemplate, purpose, flow.MaxShards)
+}
+
+// WorkersFlag registers the canonical -workers flag on fs.
+func WorkersFlag(fs *flag.FlagSet, purpose string) *int {
+	return fs.Int("workers", 0, WorkersUsage(purpose))
+}
+
+// ValidateWorkers rejects the values the pipelines reject, with the error
+// message every command prints identically.
+func ValidateWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-workers %d must be >= 0 (0 = one shard per CPU, 1 = serial)", n)
+	}
+	return nil
+}
+
+// maxResidentTemplate is the single source of the -maxresident help text
+// (the flag package appends the default value itself).
+const maxResidentTemplate = "streaming: max packets resident in the pipeline; the source batch rides on top"
+
+// MaxResidentFlag registers the canonical -maxresident flag on fs.
+func MaxResidentFlag(fs *flag.FlagSet) *int {
+	return fs.Int("maxresident", core.DefaultMaxResident, maxResidentTemplate)
+}
+
+// ValidateMaxResident rejects non-positive residency windows.
+func ValidateMaxResident(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-maxresident %d must be >= 1", n)
+	}
+	return nil
+}

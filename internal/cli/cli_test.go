@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestWorkersFlagDocumentsDefaults pins the generated help text to the
+// canonical semantics: the 0 and 1 special values must be documented on
+// every binary that registers the flag.
+func TestWorkersFlagDocumentsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	WorkersFlag(fs, "compression shards")
+	f := fs.Lookup("workers")
+	if f == nil {
+		t.Fatal("-workers not registered")
+	}
+	for _, want := range []string{"compression shards", "one shard per CPU", "serial"} {
+		if !strings.Contains(f.Usage, want) {
+			t.Errorf("usage %q missing %q", f.Usage, want)
+		}
+	}
+	if f.DefValue != "0" {
+		t.Errorf("default %q, want 0", f.DefValue)
+	}
+}
+
+func TestValidateWorkers(t *testing.T) {
+	if err := ValidateWorkers(-1); err == nil {
+		t.Error("negative workers accepted")
+	}
+	for _, n := range []int{0, 1, 8} {
+		if err := ValidateWorkers(n); err != nil {
+			t.Errorf("workers %d rejected: %v", n, err)
+		}
+	}
+}
+
+func TestMaxResidentFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	MaxResidentFlag(fs)
+	f := fs.Lookup("maxresident")
+	if f == nil {
+		t.Fatal("-maxresident not registered")
+	}
+	if !strings.Contains(f.Usage, "resident") {
+		t.Errorf("usage %q does not describe residency", f.Usage)
+	}
+	if err := ValidateMaxResident(0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if err := ValidateMaxResident(1); err != nil {
+		t.Errorf("window 1 rejected: %v", err)
+	}
+}

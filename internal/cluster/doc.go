@@ -1,0 +1,29 @@
+// Package cluster implements the flow-clustering machinery of the paper:
+// the template store the compressor uses to group similar short flows
+// (Section 3) and generic clustering utilities backing the Section 2.1
+// flow-diversity study.
+//
+// # The template store
+//
+// Store holds cluster centers (Templates) bucketed by flow length — the
+// paper only compares flows with identical packet counts — and answers
+// Match with first-fit semantics under the L1 distance and the d_lim(n)
+// threshold: the first existing template within the limit is reused,
+// otherwise the queried vector becomes a new template. First-fit makes the
+// store order-sensitive, which is exactly what the parallel and streaming
+// pipelines exploit: replaying flows in serial order against a fresh store
+// reproduces serial template numbering bit for bit.
+//
+// EnableMemo adds an exact-vector cache in front of the linear bucket scan.
+// Because buckets are append-only and the limit function is fixed, the
+// first-fit answer for a given vector never changes once computed, so the
+// memo is exact, not heuristic. Traffic repeats a small set of flow shapes
+// constantly; the shard workers and the merge replay both lean on the
+// resulting hit rate.
+//
+// # Clustering utilities
+//
+// KMeans and Agglomerative drive the flow-diversity study of Section 2.1;
+// they share the Vector distance machinery of package flow but are
+// independent of the compressor's store.
+package cluster

@@ -1,7 +1,3 @@
-// Package cluster implements the flow-clustering machinery of the paper:
-// the template store the compressor uses to group similar short flows
-// (Section 3) and generic clustering utilities backing the Section 2.1
-// flow-diversity study.
 package cluster
 
 import (

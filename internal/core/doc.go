@@ -1,0 +1,41 @@
+// Package core implements the paper's contribution: the lossy packet-trace
+// compressor based on TCP flow clustering (Sections 3 and 4).
+//
+// The compressor assembles bidirectional TCP flows, maps each to its
+// characterization vector F_f (package flow), clusters short flows against a
+// template store (package cluster) and emits four datasets:
+//
+//	short-flows-template — F vectors for flows of 2..ShortMax packets
+//	long-flows-template  — F vectors plus inter-packet gaps for longer flows
+//	address              — unique destination (server) IP addresses
+//	time-seq             — per flow: first timestamp, S/L tag, template
+//	                       index, RTT (short flows), address index
+//
+// Decompression regenerates a synthetic trace from the four datasets that
+// preserves the statistical properties the paper validates: flag sequences,
+// payload-size classes, acknowledgment-dependence timing and destination
+// address locality.
+//
+// # Three pipelines, one archive
+//
+// The codec runs in three modes that produce byte-for-byte identical
+// archives:
+//
+//   - Compress walks an in-memory trace serially — the reference
+//     implementation of the paper's algorithm.
+//   - CompressParallel shards an in-memory trace across workers by the
+//     5-tuple hash (flow.Partition), compresses shards independently and
+//     deterministically merges the results in serial finalize order.
+//   - CompressStream pulls batches from a PacketSource and feeds the same
+//     shard workers through bounded channels with backpressure, so captures
+//     larger than memory compress with resident packets capped by
+//     StreamConfig.MaxResident.
+//
+// The equivalence rests on two facts: every flow is assembled by exactly one
+// shard (hash partitioning covers both directions of a conversation), and
+// the merge replays flow finalization in the order the serial compressor
+// would have used — closing-packet global index, then the flush ordering —
+// against a template store with serial first-fit semantics. Template
+// numbers, address numbers and the time-seq dataset therefore come out
+// identical, whichever mode ran.
+package core

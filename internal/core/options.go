@@ -1,20 +1,3 @@
-// Package core implements the paper's contribution: the lossy packet-trace
-// compressor based on TCP flow clustering (Sections 3 and 4).
-//
-// The compressor assembles bidirectional TCP flows, maps each to its
-// characterization vector F_f (package flow), clusters short flows against a
-// template store (package cluster) and emits four datasets:
-//
-//	short-flows-template — F vectors for flows of 2..ShortMax packets
-//	long-flows-template  — F vectors plus inter-packet gaps for longer flows
-//	address              — unique destination (server) IP addresses
-//	time-seq             — per flow: first timestamp, S/L tag, template
-//	                       index, RTT (short flows), address index
-//
-// Decompression regenerates a synthetic trace from the four datasets that
-// preserves the statistical properties the paper validates: flag sequences,
-// payload-size classes, acknowledgment-dependence timing and destination
-// address locality.
 package core
 
 import (

@@ -71,14 +71,23 @@ type shardState struct {
 // lossy similarity decision is deferred to the deterministic merge.
 func exactLimit(int) int { return 1 }
 
-// compressShard assembles and characterizes the flows of one shard. bucket
-// holds the shard's packet indices in global (timestamp) order.
-func compressShard(tr *trace.Trace, opts Options, bucket []int32, sid uint16) *shardState {
-	st := &shardState{store: cluster.NewStoreLimit(exactLimit).EnableMemo()}
-	cur := int64(0)
-	table := flow.NewTable(func(f *flow.Flow) {
+// shardCompressor runs one shard of the pipeline: it assembles flows with a
+// private flow.Table, deduplicates short-flow vectors in a private
+// exact-match store and captures every finalized flow as a shardFlow. Both
+// the in-memory path (compressShard) and the streaming workers
+// (CompressStream) drive it, so the two pipelines finalize flows
+// identically.
+type shardCompressor struct {
+	st    *shardState
+	table *flow.Table
+	cur   int64 // global index of the packet being added
+}
+
+func newShardCompressor(opts Options, sid uint16) *shardCompressor {
+	c := &shardCompressor{st: &shardState{store: cluster.NewStoreLimit(exactLimit).EnableMemo()}}
+	c.table = flow.NewTable(func(f *flow.Flow) {
 		sf := shardFlow{
-			closeIdx: cur,
+			closeIdx: c.cur,
 			firstTS:  f.FirstTimestamp(),
 			hash:     f.Hash,
 			server:   f.ServerIP,
@@ -86,7 +95,7 @@ func compressShard(tr *trace.Trace, opts Options, bucket []int32, sid uint16) *s
 		}
 		v := f.Vector(opts.Weights)
 		if f.Len() <= opts.ShortMax {
-			t, _ := st.store.Match(v)
+			t, _ := c.st.store.Match(v)
 			sf.tpl = int32(t.ID)
 			sf.rtt = f.EstimateRTT()
 		} else {
@@ -94,15 +103,34 @@ func compressShard(tr *trace.Trace, opts Options, bucket []int32, sid uint16) *s
 			sf.longF = v
 			sf.gaps = f.InterPacketTimes()
 		}
-		st.flows = append(st.flows, sf)
+		c.st.flows = append(c.st.flows, sf)
 	})
+	return c
+}
+
+// add feeds one packet, recording its global (timestamp-order) index so a
+// flow closed by this packet replays in the serial finalize position.
+func (c *shardCompressor) add(globalIdx int64, p *pkt.Packet) {
+	c.cur = globalIdx
+	c.table.Add(p)
+}
+
+// finish flushes still-open flows (marked with flushMark, after every closed
+// flow) and returns the shard result.
+func (c *shardCompressor) finish() *shardState {
+	c.cur = flushMark
+	c.table.Flush()
+	return c.st
+}
+
+// compressShard assembles and characterizes the flows of one shard. bucket
+// holds the shard's packet indices in global (timestamp) order.
+func compressShard(tr *trace.Trace, opts Options, bucket []int32, sid uint16) *shardState {
+	c := newShardCompressor(opts, sid)
 	for _, i := range bucket {
-		cur = int64(i)
-		table.Add(&tr.Packets[i])
+		c.add(int64(i), &tr.Packets[i])
 	}
-	cur = flushMark
-	table.Flush()
-	return st
+	return c.finish()
 }
 
 // CompressParallel compresses tr across workers shards and merges the

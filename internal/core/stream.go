@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
+)
+
+// PacketSource is a pull-based stream of packets in timestamp order — the
+// seam that lets the compressor run over inputs larger than memory. A source
+// yields packets in batches; CompressStream never needs the whole input
+// resident at once.
+//
+// Implementations exist for in-memory traces (trace.Batches), capture files
+// (pcap.Open, trace.OpenStream) and the synthetic generators
+// (flowgen.NewWebSource).
+type PacketSource interface {
+	// Next returns the next batch of packets, which must be non-empty
+	// unless the source chooses to return an empty batch to yield (both are
+	// accepted). At end of stream Next returns io.EOF. The returned slice
+	// is only valid until the following Next call, so sources may reuse
+	// their batch buffer; any other error aborts the stream and packets
+	// returned alongside it are discarded.
+	Next() ([]pkt.Packet, error)
+}
+
+// DefaultMaxResident is the streaming pipeline's default bound on packets
+// resident in the shard channels (about 14 MB of packet records).
+const DefaultMaxResident = 1 << 18
+
+// chanDepth is the per-shard channel capacity in chunks. Two chunks queued
+// plus one in flight per worker keeps slow shards from stalling the reader
+// while bounding residency.
+const chanDepth = 2
+
+// StreamConfig tunes CompressStreamConfig beyond the plain
+// CompressStream(src, opts, workers) entry point.
+type StreamConfig struct {
+	// Workers is the shard count: 0 = one per CPU, 1 = a single shard
+	// (still streamed, still byte-identical to serial Compress), capped at
+	// flow.MaxShards.
+	Workers int
+	// MaxResident bounds the packets resident inside the pipeline (shard
+	// channels plus per-shard pending chunks); 0 means DefaultMaxResident.
+	// The source's own current batch is not counted — a source reading N
+	// packets per Next adds at most N on top. Very small values are
+	// rounded up to a few packets per worker so chunks stay non-empty.
+	MaxResident int
+	// Progress, when non-nil, is called synchronously from the reader loop
+	// with the cumulative packet count — roughly once per source batch,
+	// and once more after the final packet.
+	Progress func(packets int64)
+
+	// residentPeak, when set by tests, records the high-water mark of
+	// packets resident in the shard channels.
+	residentPeak *atomic.Int64
+}
+
+// idxPacket is one packet tagged with its global timestamp-order index, the
+// currency of the reader→shard channels.
+type idxPacket struct {
+	idx int64
+	p   pkt.Packet
+}
+
+// CompressStream compresses the packets of src across workers shards without
+// materializing the input: batches are partitioned by the 5-tuple hash
+// (flow.Partition) and fed to the shard workers through bounded channels, so
+// the reader blocks when a shard falls behind (backpressure) and resident
+// packets stay bounded by the window, not the stream length. The merge is
+// the same deterministic replay CompressParallel uses, so the archive is
+// byte-for-byte identical to the serial Compress over the same packets.
+//
+// Packets must arrive in timestamp order; out-of-order input is an error
+// (an in-memory trace can be Sorted first — a stream cannot).
+func CompressStream(src PacketSource, opts Options, workers int) (*Archive, error) {
+	return CompressStreamConfig(src, opts, StreamConfig{Workers: workers})
+}
+
+// CompressStreamConfig is CompressStream with an explicit residency window
+// and progress reporting.
+func CompressStreamConfig(src PacketSource, opts Options, cfg StreamConfig) (*Archive, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > flow.MaxShards {
+		workers = flow.MaxShards
+	}
+	maxResident := cfg.MaxResident
+	if maxResident <= 0 {
+		maxResident = DefaultMaxResident
+	}
+	// Packets in flight per shard: up to chanDepth chunks queued, one being
+	// processed and one pending in the reader — (chanDepth+2) chunks.
+	// Sizing chunks so workers*(chanDepth+2)*chunk <= maxResident keeps the
+	// pipeline within the window.
+	chunk := maxResident / (workers * (chanDepth + 2))
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	chans := make([]chan []idxPacket, workers)
+	for w := range chans {
+		chans[w] = make(chan []idxPacket, chanDepth)
+	}
+	shards := make([]*shardState, workers)
+	var resident atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := newShardCompressor(opts, uint16(w))
+			for ck := range chans[w] {
+				for i := range ck {
+					sc.add(ck[i].idx, &ck[i].p)
+				}
+				resident.Add(-int64(len(ck)))
+			}
+			shards[w] = sc.finish()
+		}(w)
+	}
+
+	pend := make([][]idxPacket, workers)
+	for w := range pend {
+		pend[w] = make([]idxPacket, 0, chunk)
+	}
+	send := func(w int) {
+		if len(pend[w]) == 0 {
+			return
+		}
+		now := resident.Add(int64(len(pend[w])))
+		if cfg.residentPeak != nil {
+			for {
+				peak := cfg.residentPeak.Load()
+				if now <= peak || cfg.residentPeak.CompareAndSwap(peak, now) {
+					break
+				}
+			}
+		}
+		chans[w] <- pend[w]
+		pend[w] = make([]idxPacket, 0, chunk)
+	}
+	// fail tears the pipeline down without feeding it further: closing the
+	// channels lets every worker drain and exit, so no goroutine leaks even
+	// when the source dies mid-stream.
+	fail := func(err error) (*Archive, error) {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+		return nil, err
+	}
+
+	var (
+		gidx   int64
+		lastTS time.Duration
+	)
+	for {
+		batch, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fail(fmt.Errorf("core: stream source: %w", err))
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		ids := flow.Partition(batch, workers, 1)
+		for i := range batch {
+			ts := batch[i].Timestamp
+			if ts < lastTS {
+				return fail(fmt.Errorf("core: stream source is not timestamp sorted at packet %d", gidx))
+			}
+			lastTS = ts
+			w := int(ids[i])
+			pend[w] = append(pend[w], idxPacket{idx: gidx, p: batch[i]})
+			gidx++
+			if len(pend[w]) >= chunk {
+				send(w)
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(gidx)
+		}
+	}
+	for w := range pend {
+		send(w)
+		close(chans[w])
+	}
+	wg.Wait()
+	if cfg.Progress != nil {
+		cfg.Progress(gidx)
+	}
+	return mergeShards(int(gidx), opts, shards), nil
+}

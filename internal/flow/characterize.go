@@ -1,16 +1,3 @@
-// Package flow implements the paper's Section 2: assembling packets into
-// bidirectional TCP flows and mapping each packet to the characterization
-// integer f(p) = w1·P1 + w2·P2 + w3·P3, producing per-flow F vectors.
-//
-// The three per-packet parameters are:
-//
-//	P1 — TCP flag class: SYN, SYN+ACK, ACK (data or pure ack), FIN/RST.
-//	P2 — acknowledgment dependence: whether the packet was sent in response
-//	     to a packet from the opposite endpoint.
-//	P3 — payload-size class: empty, small (<=500 B), large (>500 B).
-//
-// With the paper's weights (16, 4, 1) similar flows land on nearby integer
-// vectors, which is what makes clustering effective.
 package flow
 
 import (

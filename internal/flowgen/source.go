@@ -1,0 +1,114 @@
+package flowgen
+
+import (
+	"container/heap"
+	"io"
+	"time"
+
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+)
+
+// DefaultSourceBatch is the packets-per-Next batch size WebSource uses when
+// given a non-positive one; the value is shared by every streaming source.
+const DefaultSourceBatch = pkt.DefaultBatch
+
+// WebSource generates the Web trace of a WebConfig as a bounded-memory
+// packet stream: conversations are produced lazily in arrival order and
+// their packets interleaved through a small heap, so memory is proportional
+// to the conversations overlapping in time, not to the trace length.
+//
+// The emitted packet sequence is exactly Web(cfg) — same packets, same
+// order — because conversation arrivals are monotone: once every
+// conversation starting at or before the heap's earliest timestamp has been
+// generated, that packet is globally next. Ties on the microsecond-quantized
+// timestamps are broken by generation order, matching the stable sort Web
+// uses.
+type WebSource struct {
+	m       *webModel
+	h       pktHeap
+	scratch *trace.Trace
+	batch   int
+	seq     int64
+	out     []pkt.Packet
+}
+
+// NewWebSource returns a streaming generator for cfg emitting up to batch
+// packets per Next call (DefaultSourceBatch when batch <= 0).
+func NewWebSource(cfg WebConfig, batch int) *WebSource {
+	if batch <= 0 {
+		batch = DefaultSourceBatch
+	}
+	return &WebSource{
+		m:       newWebModel(cfg),
+		scratch: trace.New("web"),
+		batch:   batch,
+		out:     make([]pkt.Packet, 0, batch),
+	}
+}
+
+// quantizeTS mirrors emitConversation's microsecond quantization, so the
+// safe-emission horizon compares like with like.
+func quantizeTS(d time.Duration) time.Duration {
+	return d / time.Microsecond * time.Microsecond
+}
+
+// Next returns the next batch of packets in timestamp order, or io.EOF once
+// the configured flow count is exhausted. The returned slice is reused by
+// the following call.
+func (s *WebSource) Next() ([]pkt.Packet, error) {
+	out := s.out[:0]
+	for len(out) < s.batch {
+		// Top up: a heap packet is safe to emit only when no ungenerated
+		// conversation can start early enough to precede it. A
+		// conversation's first packet carries its quantized start time and
+		// arrivals are monotone, so generating until the heap minimum is at
+		// or before the next arrival makes the minimum globally next
+		// (equal timestamps resolve by generation sequence, as in Web's
+		// stable sort).
+		for s.m.remaining() > 0 && (s.h.Len() == 0 || s.h.items[0].p.Timestamp > quantizeTS(s.m.peekStart())) {
+			s.scratch.Packets = s.scratch.Packets[:0]
+			s.m.generate(s.scratch)
+			for i := range s.scratch.Packets {
+				heap.Push(&s.h, heapPkt{p: s.scratch.Packets[i], seq: s.seq})
+				s.seq++
+			}
+		}
+		if s.h.Len() == 0 {
+			break
+		}
+		out = append(out, heap.Pop(&s.h).(heapPkt).p)
+	}
+	if len(out) == 0 {
+		return nil, io.EOF
+	}
+	s.out = out
+	return out, nil
+}
+
+// heapPkt is one pending packet with its generation sequence number, the
+// tie-breaker that reproduces Web's stable timestamp sort.
+type heapPkt struct {
+	p   pkt.Packet
+	seq int64
+}
+
+// pktHeap is a min-heap over (timestamp, generation sequence).
+type pktHeap struct{ items []heapPkt }
+
+func (h *pktHeap) Len() int { return len(h.items) }
+func (h *pktHeap) Less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.p.Timestamp != b.p.Timestamp {
+		return a.p.Timestamp < b.p.Timestamp
+	}
+	return a.seq < b.seq
+}
+func (h *pktHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *pktHeap) Push(x any)    { h.items = append(h.items, x.(heapPkt)) }
+func (h *pktHeap) Pop() any {
+	n := len(h.items)
+	x := h.items[n-1]
+	h.items = h.items[:n-1]
+	return x
+}

@@ -56,65 +56,121 @@ func DefaultWebConfig() WebConfig {
 
 // Web generates a Web header trace. Packets are returned in timestamp order.
 func Web(cfg WebConfig) *trace.Trace {
+	tr := trace.New("web")
+	m := newWebModel(cfg)
+	for m.remaining() > 0 {
+		m.generate(tr)
+	}
+	tr.Sort()
+	return tr
+}
+
+// webModel is the Web generator's sampling state, factored out so the batch
+// generator (Web) and the streaming generator (WebSource) draw the exact
+// same random sequence: flow i of a given config is identical no matter
+// which entry point produced it.
+type webModel struct {
+	cfg WebConfig
+
+	arrivalRNG, addrRNG, lenRNG, rttRNG, bodyRNG *stats.RNG
+
+	lengths   *stats.DiscretePowerLaw
+	serverPop *stats.Zipf
+	rttDist   stats.LogNormal
+
+	servers    []pkt.IPv4
+	clientNets []uint32
+
+	meanGap float64
+	start   time.Duration
+	// havePending marks that start already holds the next conversation's
+	// arrival time (peekStart samples it lazily, once per conversation).
+	havePending bool
+	emitted     int
+}
+
+func newWebModel(cfg WebConfig) *webModel {
+	m := &webModel{cfg: cfg}
 	if cfg.Flows <= 0 {
-		return trace.New("web")
+		return m
 	}
-	if cfg.Servers <= 0 {
-		cfg.Servers = 1
+	if m.cfg.Servers <= 0 {
+		m.cfg.Servers = 1
 	}
-	if cfg.ClientNets <= 0 {
-		cfg.ClientNets = 1
+	if m.cfg.ClientNets <= 0 {
+		m.cfg.ClientNets = 1
 	}
-	if cfg.MaxLength < 2 {
-		cfg.MaxLength = 2
+	if m.cfg.MaxLength < 2 {
+		m.cfg.MaxLength = 2
 	}
 
-	root := stats.NewRNG(cfg.Seed)
-	arrivalRNG := root.Split()
-	addrRNG := root.Split()
-	lenRNG := root.Split()
-	rttRNG := root.Split()
-	bodyRNG := root.Split()
+	root := stats.NewRNG(m.cfg.Seed)
+	m.arrivalRNG = root.Split()
+	m.addrRNG = root.Split()
+	m.lenRNG = root.Split()
+	m.rttRNG = root.Split()
+	m.bodyRNG = root.Split()
 
-	lengths := stats.NewDiscretePowerLaw(2, cfg.MaxLength, cfg.LengthAlpha)
-	serverPop := stats.NewZipf(cfg.Servers, cfg.ServerZipf)
-	rttDist := stats.LogNormal{Median: float64(cfg.RTTMedian), Sigma: cfg.RTTSigma}
+	m.lengths = stats.NewDiscretePowerLaw(2, m.cfg.MaxLength, m.cfg.LengthAlpha)
+	m.serverPop = stats.NewZipf(m.cfg.Servers, m.cfg.ServerZipf)
+	m.rttDist = stats.LogNormal{Median: float64(m.cfg.RTTMedian), Sigma: m.cfg.RTTSigma}
 
 	// Server pool: stable pseudo-random public-looking addresses.
-	servers := make([]pkt.IPv4, cfg.Servers)
+	m.servers = make([]pkt.IPv4, m.cfg.Servers)
 	seen := map[pkt.IPv4]bool{}
-	for i := range servers {
+	for i := range m.servers {
 		for {
-			a := pkt.Addr(byte(20+addrRNG.Intn(180)), byte(addrRNG.Intn(256)), byte(addrRNG.Intn(256)), byte(1+addrRNG.Intn(254)))
+			a := pkt.Addr(byte(20+m.addrRNG.Intn(180)), byte(m.addrRNG.Intn(256)), byte(m.addrRNG.Intn(256)), byte(1+m.addrRNG.Intn(254)))
 			if !seen[a] {
 				seen[a] = true
-				servers[i] = a
+				m.servers[i] = a
 				break
 			}
 		}
 	}
-	clientNets := make([]uint32, cfg.ClientNets)
-	for i := range clientNets {
-		clientNets[i] = uint32(pkt.Addr(byte(1+addrRNG.Intn(126)), byte(addrRNG.Intn(256)), byte(addrRNG.Intn(256)), 0))
+	m.clientNets = make([]uint32, m.cfg.ClientNets)
+	for i := range m.clientNets {
+		m.clientNets[i] = uint32(pkt.Addr(byte(1+m.addrRNG.Intn(126)), byte(m.addrRNG.Intn(256)), byte(m.addrRNG.Intn(256)), 0))
 	}
+	m.meanGap = float64(m.cfg.Duration) / float64(m.cfg.Flows)
+	return m
+}
 
-	tr := trace.New("web")
-	meanGap := float64(cfg.Duration) / float64(cfg.Flows)
-	start := time.Duration(0)
-	for i := 0; i < cfg.Flows; i++ {
-		start += time.Duration(stats.Exponential{Mean: meanGap}.Sample(arrivalRNG))
-		server := servers[serverPop.SampleInt(addrRNG)]
-		client := pkt.IPv4(clientNets[addrRNG.Intn(len(clientNets))] | uint32(1+addrRNG.Intn(254)))
-		cport := uint16(addrRNG.IntRange(1024, 65000))
-		n := lengths.SampleInt(lenRNG)
-		rtt := time.Duration(rttDist.Sample(rttRNG))
-		if rtt < time.Millisecond {
-			rtt = time.Millisecond
-		}
-		emitConversation(tr, bodyRNG, client, server, cport, start, rtt, n)
+// remaining returns the number of conversations not yet generated.
+func (m *webModel) remaining() int {
+	if m.cfg.Flows <= 0 {
+		return 0
 	}
-	tr.Sort()
-	return tr
+	return m.cfg.Flows - m.emitted
+}
+
+// peekStart returns the next conversation's arrival time without generating
+// it. No later conversation can start — or carry any packet — earlier than
+// this, which is what lets the streaming generator emit packets before the
+// whole trace exists.
+func (m *webModel) peekStart() time.Duration {
+	if !m.havePending {
+		m.start += time.Duration(stats.Exponential{Mean: m.meanGap}.Sample(m.arrivalRNG))
+		m.havePending = true
+	}
+	return m.start
+}
+
+// generate appends the next conversation's packets to tr (in intra-flow
+// time order; interleaving across flows is the caller's concern).
+func (m *webModel) generate(tr *trace.Trace) {
+	start := m.peekStart()
+	m.havePending = false
+	server := m.servers[m.serverPop.SampleInt(m.addrRNG)]
+	client := pkt.IPv4(m.clientNets[m.addrRNG.Intn(len(m.clientNets))] | uint32(1+m.addrRNG.Intn(254)))
+	cport := uint16(m.addrRNG.IntRange(1024, 65000))
+	n := m.lengths.SampleInt(m.lenRNG)
+	rtt := time.Duration(m.rttDist.Sample(m.rttRNG))
+	if rtt < time.Millisecond {
+		rtt = time.Millisecond
+	}
+	emitConversation(tr, m.bodyRNG, client, server, cport, start, rtt, n)
+	m.emitted++
 }
 
 // emitConversation appends exactly n packets of one TCP conversation.

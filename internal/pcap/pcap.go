@@ -1,8 +1,3 @@
-// Package pcap implements the classic libpcap capture file format
-// (little-endian, microsecond resolution, LINKTYPE_RAW) for interchange with
-// standard tooling. Packets are written as bare IPv4 datagrams — header-only
-// records, like the traces the paper works with: the captured length is the
-// 40 header bytes while the original length includes the payload.
 package pcap
 
 import (

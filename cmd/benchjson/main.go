@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can publish benchmark numbers (e.g. the distributed
+// pipeline's shards/sec) as machine-readable artifacts that a perf
+// trajectory can be plotted from.
+//
+// Usage:
+//
+//	go test -bench . ./internal/dist | benchjson -o BENCH_dist.json
+//	benchjson -i bench.txt -o bench.json
+//
+// Standard benchmark lines parse into {name, iterations, metrics}; the
+// goos/goarch/pkg/cpu preamble becomes the environment block. Unrecognized
+// lines are ignored, so piping a whole `go test` run in is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Environment map[string]string `json:"environment,omitempty"`
+	Benchmarks  []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	in := flag.String("i", "", "input file (default stdin)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse scans bench output. A benchmark line is
+//
+//	BenchmarkName[-P]  <iterations>  (<value> <unit>)+
+//
+// and the preamble lines are "key: value" pairs (goos, goarch, pkg, cpu).
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Environment: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			report.Environment[key] = strings.TrimSpace(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading input: %w", err)
+	}
+	return report, nil
+}
+
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Name, iterations and at least one value/unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       stripProcsSuffix(fields[0]),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// stripProcsSuffix removes the trailing -GOMAXPROCS that `go test` appends
+// (BenchmarkX-8 -> BenchmarkX). Only a final all-digit segment is cut, so
+// dashes inside benchmark or sub-benchmark names survive intact.
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

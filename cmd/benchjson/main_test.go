@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: flowzip/internal/dist
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDistributedLoopback-8 	       3	   8055134 ns/op	    444584 packets/sec	       496.6 shards/sec
+BenchmarkMergeShardResults 	       2	    669334 ns/op
+PASS
+ok  	flowzip/internal/dist	0.031s
+`
+	report, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Environment["goos"] != "linux" || report.Environment["cpu"] == "" {
+		t.Errorf("environment not captured: %v", report.Environment)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "BenchmarkDistributedLoopback" {
+		t.Errorf("name %q, want GOMAXPROCS suffix stripped", b.Name)
+	}
+	if b.Iterations != 3 {
+		t.Errorf("iterations %d, want 3", b.Iterations)
+	}
+	if b.Metrics["shards/sec"] != 496.6 || b.Metrics["ns/op"] != 8055134 {
+		t.Errorf("metrics not parsed: %v", b.Metrics)
+	}
+	if report.Benchmarks[1].Name != "BenchmarkMergeShardResults" {
+		t.Errorf("suffix-free name mangled: %q", report.Benchmarks[1].Name)
+	}
+}
+
+// TestStripProcsSuffix pins the name transform: only a trailing all-digit
+// segment is the GOMAXPROCS suffix; dashes inside benchmark and
+// sub-benchmark names must survive.
+func TestStripProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":                 "BenchmarkX",
+		"BenchmarkX":                   "BenchmarkX",
+		"BenchmarkX/4-shards-8":        "BenchmarkX/4-shards",
+		"BenchmarkX/4-shards":          "BenchmarkX/4-shards",
+		"BenchmarkRace-to-the-top-16":  "BenchmarkRace-to-the-top",
+		"BenchmarkTrailingDash-":       "BenchmarkTrailingDash-",
+		"BenchmarkDistributedLoopback": "BenchmarkDistributedLoopback",
+	}
+	for in, want := range cases {
+		if got := stripProcsSuffix(in); got != want {
+			t.Errorf("stripProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

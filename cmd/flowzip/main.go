@@ -6,8 +6,13 @@
 //	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2] [-workers 8]
 //	flowzip compress  -i big.pcap -o big.fz -stream [-maxresident N] [-progress]
 //	flowzip decompress -i web.fz -o back.tsh
-//	flowzip inspect   -i web.fz
+//	flowzip inspect   -i web.fz            (also reads .fzshard shard files)
 //	flowzip compare   -i web.tsh
+//
+//	flowzip shard      -i web.tsh -shard 0 -shards 4 -o web.s0.fzshard
+//	flowzip merge      -o web.fz web.s0.fzshard ... web.s3.fzshard
+//	flowzip coordinate -listen :9000 -shards 4 -o web.fz
+//	flowzip worker     -connect host:9000 -i web.tsh
 //
 // -workers selects the compression shards: 0 (the default) uses one shard
 // per CPU, 1 runs the serial pipeline; serial, parallel and streaming modes
@@ -15,9 +20,18 @@
 // incrementally — a timestamp-sorted capture of any size compresses in
 // bounded memory, with -maxresident capping the packets resident in the
 // pipeline.
+//
+// The distributed verbs split the same work across processes or machines:
+// shard compresses one 5-tuple partition of a trace into a serializable
+// .fzshard file and merge folds a complete set back into an archive, while
+// coordinate/worker run the same split over TCP — workers register with the
+// coordinator, receive partition assignments and push shard state back.
+// However the shards traveled, the merged archive is byte-for-byte
+// identical to the single-machine compress output.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +40,7 @@ import (
 	"flowzip/internal/baseline"
 	"flowzip/internal/cli"
 	"flowzip/internal/core"
+	"flowzip/internal/dist"
 	"flowzip/internal/flow"
 	"flowzip/internal/stats"
 	"flowzip/internal/trace"
@@ -49,6 +64,14 @@ func main() {
 		runCompare(args)
 	case "synth":
 		runSynth(args)
+	case "shard":
+		runShard(args)
+	case "merge":
+		runMerge(args)
+	case "coordinate":
+		runCoordinate(args)
+	case "worker":
+		runWorker(args)
 	default:
 		usage()
 	}
@@ -60,10 +83,165 @@ func usage() {
 commands:
   compress    compress a trace (.tsh/.pcap) into a flowzip archive
   decompress  regenerate a synthetic trace from an archive
-  inspect     print archive dataset statistics
+  inspect     print archive or .fzshard shard-file statistics
   compare     run all baseline compressors on a trace
-  synth       generate a new trace from an archive's traffic model`)
+  synth       generate a new trace from an archive's traffic model
+  shard       compress one partition of a trace into a .fzshard file
+  merge       fold a complete set of .fzshard files into an archive
+  coordinate  serve partition assignments and merge worker results (TCP)
+  worker      compress partitions for a coordinator (TCP)`)
 	os.Exit(2)
+}
+
+// codecFlags registers the codec parameter flags shared by compress, shard
+// and coordinate, returning a builder for the resulting Options.
+func codecFlags(fs *flag.FlagSet) func() core.Options {
+	shortMax := fs.Int("shortmax", 50, "largest short-flow packet count")
+	limit := fs.Float64("limit", 2.0, "similarity threshold (% of max distance)")
+	w1 := fs.Int("w1", 16, "flag-class weight")
+	w2 := fs.Int("w2", 4, "dependence weight")
+	w3 := fs.Int("w3", 1, "size-class weight")
+	return func() core.Options {
+		opts := core.DefaultOptions()
+		opts.ShortMax = *shortMax
+		opts.LimitPct = *limit
+		opts.Weights = flow.Weights{Flag: *w1, Dep: *w2, Size: *w3}
+		return opts
+	}
+}
+
+// writeArchive encodes arch to path and prints the ratio summary line.
+func writeArchive(path string, arch *core.Archive) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes, err := arch.Encode(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	ratio := float64(sizes.Total()) / float64(arch.SourceTSHBytes)
+	fmt.Printf("%s: %d packets, %d flows -> %d bytes (ratio %.4f)\n",
+		path, arch.SourcePackets, arch.Flows(), sizes.Total(), ratio)
+}
+
+func runShard(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	in := fs.String("i", "", "input trace (.tsh or .pcap)")
+	out := fs.String("o", "", "output shard file (default <input>.s<shard>of<shards>.fzshard)")
+	shard := cli.ShardIndexFlag(fs)
+	shards := cli.ShardsFlag(fs)
+	opts := codecFlags(fs)
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("shard: -i required")
+	}
+	if err := cli.ValidateShards(*shards); err != nil {
+		log.Fatal("shard: ", err)
+	}
+	if err := cli.ValidateShardIndex(*shard, *shards); err != nil {
+		log.Fatal("shard: ", err)
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("%s.s%dof%d.fzshard", *in, *shard, *shards)
+	}
+	src, err := trace.OpenStream(*in, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	r, err := core.CompressShardSource(src, opts(), *shard, *shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dist.EncodeShardState(f, r); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: shard %d/%d, %d flows, %d templates (%d packets scanned)\n",
+		*out, r.Index, r.Count, len(r.Flows), len(r.Templates), r.Packets)
+}
+
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "out.fz", "output archive")
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		log.Fatal("merge: shard files required as arguments")
+	}
+	arch, err := dist.MergeShardFiles(paths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeArchive(*out, arch)
+}
+
+func runCoordinate(args []string) {
+	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
+	listen := fs.String("listen", ":9000", "TCP address to accept workers on")
+	out := fs.String("o", "out.fz", "output archive")
+	shards := cli.ShardsFlag(fs)
+	quiet := fs.Bool("q", false, "suppress per-shard progress on stderr")
+	opts := codecFlags(fs)
+	fs.Parse(args)
+	if err := cli.ValidateShards(*shards); err != nil {
+		log.Fatal("coordinate: ", err)
+	}
+	cfg := dist.CoordinatorConfig{
+		Shards:     *shards,
+		Opts:       opts(),
+		ListenAddr: *listen,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	coord, err := dist.NewCoordinator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "flowzip: coordinating %d shards on %s\n", *shards, coord.Addr())
+	arch, err := coord.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeArchive(*out, arch)
+}
+
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	connect := fs.String("connect", "", "coordinator TCP address (host:port)")
+	in := fs.String("i", "", "input trace (.tsh or .pcap); must be the same stream on every worker")
+	quiet := fs.Bool("q", false, "suppress per-shard progress on stderr")
+	fs.Parse(args)
+	if *connect == "" {
+		log.Fatal("worker: -connect required")
+	}
+	if *in == "" {
+		log.Fatal("worker: -i required")
+	}
+	cfg := dist.WorkerConfig{
+		Source: func() (core.PacketSource, error) { return trace.OpenStream(*in, 0) },
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	w, err := dist.Dial(*connect, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func runSynth(args []string) {
@@ -106,11 +284,7 @@ func runCompress(args []string) {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	in := fs.String("i", "", "input trace (.tsh or .pcap)")
 	out := fs.String("o", "out.fz", "output archive")
-	shortMax := fs.Int("shortmax", 50, "largest short-flow packet count")
-	limit := fs.Float64("limit", 2.0, "similarity threshold (% of max distance)")
-	w1 := fs.Int("w1", 16, "flag-class weight")
-	w2 := fs.Int("w2", 4, "dependence weight")
-	w3 := fs.Int("w3", 1, "size-class weight")
+	buildOpts := codecFlags(fs)
 	workers := cli.WorkersFlag(fs, "compression shards")
 	stream := fs.Bool("stream", false, "stream the input in bounded memory (requires timestamp-sorted input)")
 	maxResident := cli.MaxResidentFlag(fs)
@@ -127,10 +301,7 @@ func runCompress(args []string) {
 	}
 
 	var arch *core.Archive
-	opts := core.DefaultOptions()
-	opts.ShortMax = *shortMax
-	opts.LimitPct = *limit
-	opts.Weights = flow.Weights{Flag: *w1, Dep: *w2, Size: *w3}
+	opts := buildOpts()
 	if *stream {
 		// The residency window only covers the pipeline; cap the source's
 		// read batch too so a small -maxresident is honored end to end.
@@ -169,21 +340,7 @@ func runCompress(args []string) {
 			log.Fatal(err)
 		}
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	sizes, err := arch.Encode(f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	ratio := float64(sizes.Total()) / float64(arch.SourceTSHBytes)
-	fmt.Printf("%s: %d packets, %d flows -> %d bytes (ratio %.4f)\n",
-		*out, arch.SourcePackets, arch.Flows(), sizes.Total(), ratio)
+	writeArchive(*out, arch)
 }
 
 func runDecompress(args []string) {
@@ -215,7 +372,7 @@ func runDecompress(args []string) {
 
 func runInspect(args []string) {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
-	in := fs.String("i", "", "input archive")
+	in := fs.String("i", "", "input archive (.fz) or shard file (.fzshard)")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("inspect: -i required")
@@ -225,7 +382,12 @@ func runInspect(args []string) {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	arch, err := core.Decode(f)
+	br := bufio.NewReader(f)
+	if peek, err := br.Peek(len(dist.Magic)); err == nil && string(peek) == dist.Magic {
+		inspectShard(*in, br)
+		return
+	}
+	arch, err := core.Decode(br)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -248,6 +410,25 @@ func runInspect(args []string) {
 	if arch.SourceTSHBytes > 0 {
 		t.AddRowf("ratio", float64(sizes.Total())/float64(arch.SourceTSHBytes))
 	}
+	t.Render(os.Stdout)
+}
+
+// inspectShard prints the header of a .fzshard shard-state file.
+func inspectShard(name string, r *bufio.Reader) {
+	h, err := dist.ReadShardHeader(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &stats.Table{Title: "shard state " + name, Headers: []string{"field", "value"}}
+	t.AddRowf("shard", fmt.Sprintf("%d of %d", h.Index, h.Count))
+	t.AddRowf("flows", h.Flows)
+	t.AddRowf("templates", h.Templates)
+	t.AddRowf("stream packets", h.Packets)
+	t.AddRowf("partition seed", h.PartitionSeed)
+	t.AddRowf("options fingerprint", fmt.Sprintf("%016x", h.Fingerprint))
+	t.AddRowf("weights", h.Opts.Weights.String())
+	t.AddRowf("short max", h.Opts.ShortMax)
+	t.AddRowf("limit %", h.Opts.LimitPct)
 	t.Render(os.Stdout)
 }
 

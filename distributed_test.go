@@ -1,0 +1,88 @@
+package flowzip_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowzip"
+)
+
+// TestPublicDistributedAPI exercises the distributed pipeline end to end
+// through the public facade: shard files, header inspection, loopback TCP —
+// all byte-identical to serial Compress.
+func TestPublicDistributedAPI(t *testing.T) {
+	cfg := flowzip.DefaultWebConfig()
+	cfg.Flows = 300
+	cfg.Seed = 8
+	tr := flowzip.GenerateWeb(cfg)
+
+	serial, err := flowzip.Compress(tr, flowzip.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := serial.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// File transport: CompressShard + EncodeShardState + MergeShardFiles.
+	const shards = 3
+	dir := t.TempDir()
+	paths := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		r, err := flowzip.CompressShard(flowzip.TraceSource(tr, 0), flowzip.DefaultOptions(), i, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, fmt.Sprintf("part%d.fzshard", i))
+		f, err := os.Create(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := flowzip.EncodeShardState(f, r); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		rf, err := os.Open(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := flowzip.ReadShardHeader(rf)
+		rf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Index != i || h.Count != shards {
+			t.Fatalf("shard header %d/%d, want %d/%d", h.Index, h.Count, i, shards)
+		}
+	}
+	merged, err := flowzip.MergeShardFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, err := merged.Encode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("shard-file archive differs from serial")
+	}
+
+	// Network transport: loopback coordinator + workers.
+	src := func() (flowzip.PacketSource, error) { return flowzip.TraceSource(tr, 0), nil }
+	arch, err := flowzip.CompressDistributed(src, flowzip.DefaultOptions(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Reset()
+	if _, err := arch.Encode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("distributed archive differs from serial")
+	}
+}

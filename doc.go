@@ -51,6 +51,22 @@
 // GenerateWeb). CompressStreamConfig adds the residency window and progress
 // reporting.
 //
+// # Distributed compression
+//
+// The same 5-tuple partitioning scales past one machine: CompressShard
+// compresses a single partition of a stream into a serializable
+// ShardResult, EncodeShardState/DecodeShardState move it as a versioned
+// .fzshard blob, and MergeShards (or MergeShardFiles) replays the
+// deterministic merge over a complete set — still byte-identical to serial
+// Compress. NewCoordinator and DialCoordinator run the split over TCP:
+// workers register, receive partition assignments, compress from their own
+// PacketSource and push shard state back, with dead workers' shards
+// re-queued automatically. CompressDistributed wires both ends together
+// over loopback:
+//
+//	src := func() (flowzip.PacketSource, error) { return flowzip.OpenPcap("capture.pcap") }
+//	archive, err := flowzip.CompressDistributed(src, flowzip.DefaultOptions(), 8, 4)
+//
 // The subsystems behind the facade live in internal/ (see ARCHITECTURE.md
 // for the map); the cmd/ binaries and examples/ directory show complete
 // pipelines, including the paper's figure reproductions.

@@ -39,6 +39,38 @@ func ValidateWorkers(n int) error {
 	return nil
 }
 
+// shardsTemplate is the single source of the -shards help text: the
+// distributed verbs all describe the partition count identically.
+const shardsTemplate = "partition count of the distributed run, in [1,%d]; all shards of a run must agree"
+
+// ShardsFlag registers the canonical -shards flag on fs.
+func ShardsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 0, fmt.Sprintf(shardsTemplate, flow.MaxShards))
+}
+
+// ValidateShards rejects partition counts the pipelines reject, with the
+// error message every command prints identically.
+func ValidateShards(n int) error {
+	if n < 1 || n > flow.MaxShards {
+		return fmt.Errorf("-shards %d must be in [1,%d]", n, flow.MaxShards)
+	}
+	return nil
+}
+
+// ShardIndexFlag registers the canonical -shard flag (which partition this
+// invocation compresses) on fs.
+func ShardIndexFlag(fs *flag.FlagSet) *int {
+	return fs.Int("shard", 0, "index of the partition to compress, in [0,shards)")
+}
+
+// ValidateShardIndex rejects indices outside the partition.
+func ValidateShardIndex(index, shards int) error {
+	if index < 0 || index >= shards {
+		return fmt.Errorf("-shard %d must be in [0,%d)", index, shards)
+	}
+	return nil
+}
+
 // maxResidentTemplate is the single source of the -maxresident help text
 // (the flag package appends the default value itself).
 const maxResidentTemplate = "streaming: max packets resident in the pipeline; the source batch rides on top"

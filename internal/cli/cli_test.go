@@ -54,3 +54,42 @@ func TestMaxResidentFlag(t *testing.T) {
 		t.Errorf("window 1 rejected: %v", err)
 	}
 }
+
+// TestShardsFlags pins the distributed verbs' shared flag semantics: one
+// template for the partition count, one for the shard index, with the same
+// bounds the pipelines enforce.
+func TestShardsFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ShardsFlag(fs)
+	ShardIndexFlag(fs)
+	if f := fs.Lookup("shards"); f == nil {
+		t.Fatal("-shards not registered")
+	} else if !strings.Contains(f.Usage, "partition count") {
+		t.Errorf("usage %q does not describe the partition count", f.Usage)
+	}
+	if f := fs.Lookup("shard"); f == nil {
+		t.Fatal("-shard not registered")
+	} else if !strings.Contains(f.Usage, "index") {
+		t.Errorf("usage %q does not describe the index", f.Usage)
+	}
+
+	for _, n := range []int{0, -1, 100000} {
+		if err := ValidateShards(n); err == nil {
+			t.Errorf("shards %d accepted", n)
+		}
+	}
+	for _, n := range []int{1, 8, 256} {
+		if err := ValidateShards(n); err != nil {
+			t.Errorf("shards %d rejected: %v", n, err)
+		}
+	}
+	if err := ValidateShardIndex(-1, 4); err == nil {
+		t.Error("negative shard index accepted")
+	}
+	if err := ValidateShardIndex(4, 4); err == nil {
+		t.Error("shard index == shards accepted")
+	}
+	if err := ValidateShardIndex(3, 4); err != nil {
+		t.Errorf("shard index 3/4 rejected: %v", err)
+	}
+}

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"cmp"
 	"math"
 	"runtime"
-	"slices"
 	"sync"
 	"time"
 
@@ -12,7 +10,6 @@ import (
 	"flowzip/internal/flow"
 	"flowzip/internal/pkt"
 	"flowzip/internal/trace"
-	"flowzip/internal/tsh"
 )
 
 // The sharded parallel pipeline splits compression into three phases:
@@ -45,24 +42,26 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // flow closed by a FIN/RST pair, mirroring the serial compressor.
 const flushMark = int64(math.MaxInt64)
 
-// shardFlow is one finalized flow as captured by a shard worker: everything
-// the merge needs to replay the serial finalize step.
-type shardFlow struct {
-	closeIdx int64 // global index of the closing packet; flushMark when flushed
-	firstTS  time.Duration
-	hash     uint64
-	server   pkt.IPv4
-	long     bool
-	shard    uint16
-	tpl      int32           // short flows: shard-store template id
-	rtt      time.Duration   // short flows
-	longF    flow.Vector     // long flows
-	gaps     []time.Duration // long flows
+// ShardFlow is one finalized flow as captured by a shard worker: everything
+// the merge needs to replay the serial finalize step. The fields are exported
+// so the distributed pipeline (internal/dist) can serialize shard results and
+// ship them between machines.
+type ShardFlow struct {
+	CloseIdx int64 // global index of the closing packet; flushMark when flushed
+	FirstTS  time.Duration
+	Hash     uint64
+	Server   pkt.IPv4
+	Long     bool
+	Shard    uint16
+	Template int32           // short flows: shard-store template id
+	RTT      time.Duration   // short flows
+	LongF    flow.Vector     // long flows
+	Gaps     []time.Duration // long flows
 }
 
 // shardState is the output of one shard worker.
 type shardState struct {
-	flows []shardFlow
+	flows []ShardFlow
 	store *cluster.Store // exact-duplicate short-vector store
 }
 
@@ -86,22 +85,22 @@ type shardCompressor struct {
 func newShardCompressor(opts Options, sid uint16) *shardCompressor {
 	c := &shardCompressor{st: &shardState{store: cluster.NewStoreLimit(exactLimit).EnableMemo()}}
 	c.table = flow.NewTable(func(f *flow.Flow) {
-		sf := shardFlow{
-			closeIdx: c.cur,
-			firstTS:  f.FirstTimestamp(),
-			hash:     f.Hash,
-			server:   f.ServerIP,
-			shard:    sid,
+		sf := ShardFlow{
+			CloseIdx: c.cur,
+			FirstTS:  f.FirstTimestamp(),
+			Hash:     f.Hash,
+			Server:   f.ServerIP,
+			Shard:    sid,
 		}
 		v := f.Vector(opts.Weights)
 		if f.Len() <= opts.ShortMax {
 			t, _ := c.st.store.Match(v)
-			sf.tpl = int32(t.ID)
-			sf.rtt = f.EstimateRTT()
+			sf.Template = int32(t.ID)
+			sf.RTT = f.EstimateRTT()
 		} else {
-			sf.long = true
-			sf.longF = v
-			sf.gaps = f.InterPacketTimes()
+			sf.Long = true
+			sf.LongF = v
+			sf.Gaps = f.InterPacketTimes()
 		}
 		c.st.flows = append(c.st.flows, sf)
 	})
@@ -187,70 +186,14 @@ func CompressParallel(tr *trace.Trace, opts Options, workers int) (*Archive, err
 
 // mergeShards interleaves shard results into serial finalize order and
 // replays them against a global template store, renumbering template and
-// address indices.
+// address indices. It shares replayMerge with the distributed pipeline
+// (MergeShardResults), so in-process and cross-machine merges cannot diverge.
 func mergeShards(packets int, opts Options, shards []*shardState) *Archive {
-	total := 0
-	for _, s := range shards {
-		total += len(s.flows)
+	flows := make([][]ShardFlow, len(shards))
+	tpls := make([][]flow.Vector, len(shards))
+	for i, s := range shards {
+		flows[i] = s.flows
+		tpls[i] = storeVectors(s.store)
 	}
-	merged := make([]*shardFlow, 0, total)
-	for _, s := range shards {
-		for i := range s.flows {
-			merged = append(merged, &s.flows[i])
-		}
-	}
-	// Serial finalize order: flows close at their closing packet (unique
-	// global index), then the flush emits the remainder by (first timestamp,
-	// hash) — the same comparator as flow.Table.Flush.
-	slices.SortFunc(merged, func(a, b *shardFlow) int {
-		if c := cmp.Compare(a.closeIdx, b.closeIdx); c != 0 {
-			return c
-		}
-		if c := cmp.Compare(a.firstTS, b.firstTS); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.hash, b.hash)
-	})
-
-	store := cluster.NewStoreLimit(opts.limit()).EnableMemo()
-	addrIdx := make(map[pkt.IPv4]uint32)
-	var addrs []pkt.IPv4
-	var long []LongTemplate
-	recs := make([]TimeSeqRecord, 0, total)
-	for _, sf := range merged {
-		rec := TimeSeqRecord{FirstTS: sf.firstTS}
-		idx, ok := addrIdx[sf.server]
-		if !ok {
-			idx = uint32(len(addrs))
-			addrs = append(addrs, sf.server)
-			addrIdx[sf.server] = idx
-		}
-		rec.Addr = idx
-		if sf.long {
-			rec.Long = true
-			rec.Template = uint32(len(long))
-			long = append(long, LongTemplate{F: sf.longF, Gaps: sf.gaps})
-		} else {
-			t, _ := store.Match(shards[sf.shard].store.Templates()[sf.tpl].Vector)
-			rec.Template = uint32(t.ID)
-			rec.RTT = sf.rtt
-		}
-		recs = append(recs, rec)
-	}
-
-	shorts := make([]flow.Vector, store.Len())
-	for i, t := range store.Templates() {
-		shorts[i] = t.Vector
-	}
-	slices.SortStableFunc(recs, func(a, b TimeSeqRecord) int { return cmp.Compare(a.FirstTS, b.FirstTS) })
-
-	return &Archive{
-		ShortTemplates: shorts,
-		LongTemplates:  long,
-		Addresses:      addrs,
-		TimeSeq:        recs,
-		Opts:           opts,
-		SourcePackets:  int64(packets),
-		SourceTSHBytes: tsh.Size(packets),
-	}
+	return replayMerge(int64(packets), opts, flows, tpls)
 }

@@ -1,0 +1,410 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"flowzip/internal/core"
+	"flowzip/internal/flow"
+)
+
+// Default protocol timing. Frame IO (small control messages) is quick;
+// waiting for a worker to compress its partition is not, so the result wait
+// gets its own, much longer budget.
+const (
+	// DefaultFrameTimeout bounds one control-frame read or write.
+	DefaultFrameTimeout = 30 * time.Second
+	// DefaultResultTimeout bounds the coordinator's wait for one shard
+	// result, and the worker's wait for its next assignment.
+	DefaultResultTimeout = 15 * time.Minute
+	// DefaultShardRetries is the total failures one shard may accumulate
+	// (worker died or reported an error) before the whole run is
+	// abandoned; a shard is re-queued after each failure but the last.
+	DefaultShardRetries = 3
+)
+
+// CoordinatorConfig parameterizes a merge coordinator.
+type CoordinatorConfig struct {
+	// Shards is the partition count workers will be assigned, in
+	// [1, flow.MaxShards].
+	Shards int
+	// Opts are the codec options every worker must compress with; they are
+	// pushed to workers in the assignment, so the coordinator is the single
+	// source of truth.
+	Opts core.Options
+	// ListenAddr is the TCP address to accept workers on, e.g. ":9000".
+	// Empty means "127.0.0.1:0" (an ephemeral loopback port, for tests and
+	// single-machine runs).
+	ListenAddr string
+	// FrameTimeout bounds each control-frame read/write on a worker
+	// connection (0 = DefaultFrameTimeout).
+	FrameTimeout time.Duration
+	// ResultTimeout bounds the wait for one assigned shard's result
+	// (0 = DefaultResultTimeout). A worker that exceeds it is dropped and
+	// its shard re-queued.
+	ResultTimeout time.Duration
+	// ShardRetries caps the total failures a single shard may accumulate
+	// before Wait gives up: each failure but the last re-queues the shard,
+	// so ShardRetries=1 aborts on the first failure (0 =
+	// DefaultShardRetries).
+	ShardRetries int
+	// Logf, when non-nil, receives progress lines (registrations,
+	// assignments, failures).
+	Logf func(format string, args ...any)
+}
+
+func (c *CoordinatorConfig) fillDefaults() {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.FrameTimeout <= 0 {
+		c.FrameTimeout = DefaultFrameTimeout
+	}
+	if c.ResultTimeout <= 0 {
+		c.ResultTimeout = DefaultResultTimeout
+	}
+	if c.ShardRetries <= 0 {
+		c.ShardRetries = DefaultShardRetries
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Coordinator accepts workers over TCP, hands out partition assignments,
+// collects serialized shard state and runs the deterministic merge once the
+// set is complete. A worker that disconnects, times out or reports failure
+// has its shard re-queued for the surviving workers, up to ShardRetries
+// failures per shard.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []int // shard indices awaiting assignment
+	failures map[int]int
+	results  map[int]*core.ShardResult
+	open     map[net.Conn]struct{}
+	closed   bool
+	fatalErr error
+
+	acceptDone chan struct{}
+	conns      sync.WaitGroup
+}
+
+// NewCoordinator validates cfg, binds the listener and starts accepting
+// workers. The caller must end with Wait or Close.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Shards < 1 || cfg.Shards > flow.MaxShards {
+		return nil, fmt.Errorf("dist: coordinator shards %d outside [1,%d]", cfg.Shards, flow.MaxShards)
+	}
+	if err := cfg.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		ln:         ln,
+		failures:   make(map[int]int),
+		results:    make(map[int]*core.ShardResult),
+		open:       make(map[net.Conn]struct{}),
+		acceptDone: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i := 0; i < cfg.Shards; i++ {
+		c.pending = append(c.pending, i)
+	}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listener address workers should Dial — useful when
+// ListenAddr requested an ephemeral port.
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// acceptLoop admits workers until the listener closes.
+func (c *Coordinator) acceptLoop() {
+	defer close(c.acceptDone)
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.open[conn] = struct{}{}
+		c.mu.Unlock()
+		c.conns.Add(1)
+		go func() {
+			defer c.conns.Done()
+			defer func() {
+				conn.Close()
+				c.mu.Lock()
+				delete(c.open, conn)
+				c.mu.Unlock()
+			}()
+			c.serveWorker(conn)
+		}()
+	}
+}
+
+// done reports (under mu) whether every shard has a result.
+func (c *Coordinator) doneLocked() bool { return len(c.results) == c.cfg.Shards }
+
+// takeShard blocks until a shard is available for assignment, the run
+// completes, or the coordinator shuts down. It returns (shard, true) to
+// assign, (0, false) to hang up (done/closed/failed).
+func (c *Coordinator) takeShard() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed || c.fatalErr != nil || c.doneLocked() {
+			return 0, false
+		}
+		if len(c.pending) > 0 {
+			shard := c.pending[0]
+			c.pending = c.pending[1:]
+			return shard, true
+		}
+		// Nothing pending, but other workers still hold assignments that
+		// may yet fail and re-queue; wait instead of sending done early.
+		c.cond.Wait()
+	}
+}
+
+// requeue returns a failed shard to the queue, or aborts the run when the
+// shard has exhausted its retries.
+func (c *Coordinator) requeue(shard int, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.results[shard]; ok {
+		return // completed concurrently; nothing to do
+	}
+	c.failures[shard]++
+	if c.failures[shard] >= c.cfg.ShardRetries {
+		if c.fatalErr == nil {
+			c.fatalErr = fmt.Errorf("dist: shard %d failed %d times, giving up: %w",
+				shard, c.failures[shard], cause)
+		}
+	} else {
+		c.pending = append(c.pending, shard)
+	}
+	c.cond.Broadcast()
+}
+
+// serveWorker runs the assignment loop for one connection.
+func (c *Coordinator) serveWorker(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	typ, payload, err := readFrame(conn, br, c.cfg.FrameTimeout, maxControlPayload)
+	if err != nil || typ != frameHello {
+		c.cfg.Logf("dist: worker %s rejected: bad hello (%v)", conn.RemoteAddr(), err)
+		return
+	}
+	s := &sectionReader{b: payload}
+	if v, err := s.uvarint(); err != nil || v != protoVersion {
+		c.cfg.Logf("dist: worker %s rejected: protocol version %d, want %d", conn.RemoteAddr(), v, protoVersion)
+		return
+	}
+	c.cfg.Logf("dist: worker %s registered", conn.RemoteAddr())
+
+	for {
+		shard, ok := c.takeShard()
+		if !ok {
+			// No more work: report success as done, but an abort as a fail
+			// frame — a worker fleet must not log "coordinator done" and
+			// exit zero when the run died.
+			c.mu.Lock()
+			abort := c.fatalErr
+			if abort == nil && !c.doneLocked() {
+				abort = errors.New("coordinator closed before the run completed")
+			}
+			c.mu.Unlock()
+			if abort != nil {
+				_ = writeFrame(conn, c.cfg.FrameTimeout, frameFail, encodeFail(0, "run aborted: "+abort.Error()))
+			} else {
+				_ = writeFrame(conn, c.cfg.FrameTimeout, frameDone, nil)
+			}
+			return
+		}
+		c.cfg.Logf("dist: shard %d/%d -> worker %s", shard, c.cfg.Shards, conn.RemoteAddr())
+		a := assignment{index: shard, count: c.cfg.Shards, opts: c.cfg.Opts}
+		if err := writeFrame(conn, c.cfg.FrameTimeout, frameAssign, encodeAssignment(a)); err != nil {
+			c.cfg.Logf("dist: worker %s dropped (%v); re-queueing shard %d", conn.RemoteAddr(), err, shard)
+			c.requeue(shard, err)
+			return
+		}
+		typ, payload, err := readFrame(conn, br, c.cfg.ResultTimeout, maxFramePayload)
+		if err != nil {
+			c.cfg.Logf("dist: worker %s dropped (%v); re-queueing shard %d", conn.RemoteAddr(), err, shard)
+			c.requeue(shard, err)
+			return
+		}
+		switch typ {
+		case frameResult:
+			r, err := c.acceptResult(shard, payload)
+			if err != nil {
+				c.cfg.Logf("dist: worker %s sent a bad shard %d result (%v)", conn.RemoteAddr(), shard, err)
+				// Tell the worker why before dropping it, so a
+				// misconfigured worker exits with the rejection instead of
+				// mistaking the hang-up for a completed run.
+				_ = writeFrame(conn, c.cfg.FrameTimeout, frameFail,
+					encodeFail(shard, fmt.Sprintf("shard %d result rejected: %v", shard, err)))
+				c.requeue(shard, err)
+				return
+			}
+			c.cfg.Logf("dist: shard %d done (%d flows)", shard, len(r.Flows))
+		case frameFail:
+			idx, msg, _ := decodeFail(payload)
+			err := fmt.Errorf("dist: worker %s failed shard %d: %s", conn.RemoteAddr(), idx, msg)
+			c.cfg.Logf("%v", err)
+			c.requeue(shard, err)
+			// The worker proved unable to compress; drop the connection so
+			// the shard goes to a different worker.
+			return
+		default:
+			c.requeue(shard, fmt.Errorf("dist: unexpected %s frame", frameName(typ)))
+			return
+		}
+	}
+}
+
+// acceptResult decodes a result blob, cross-checks it against the
+// assignment and the coordinator's own configuration, and — atomically
+// with the checks — records it and wakes waiters.
+func (c *Coordinator) acceptResult(shard int, payload []byte) (*core.ShardResult, error) {
+	r, err := DecodeShardState(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	if r.Index != shard {
+		return nil, fmt.Errorf("dist: result is for shard %d, assigned %d", r.Index, shard)
+	}
+	if r.Count != c.cfg.Shards {
+		return nil, fmt.Errorf("dist: result partitions into %d shards, run uses %d", r.Count, c.cfg.Shards)
+	}
+	if r.Opts != c.cfg.Opts {
+		return nil, fmt.Errorf("dist: result was compressed with options %+v, coordinator requires %+v",
+			r.Opts, c.cfg.Opts)
+	}
+	// Cross-check the stream length against shards already completed: a
+	// worker reading a different input file is rejected now (and its shard
+	// re-queued to a healthy worker) instead of poisoning the merge after
+	// every shard has been compressed. Check and record share one critical
+	// section so two simultaneous first results cannot both slip past it.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, prev := range c.results {
+		if prev.Packets != r.Packets {
+			return nil, fmt.Errorf("dist: result scanned %d packets but shard %d scanned %d — workers are reading different streams",
+				r.Packets, prev.Index, prev.Packets)
+		}
+		break
+	}
+	if _, ok := c.results[r.Index]; !ok {
+		c.results[r.Index] = r
+	}
+	c.cond.Broadcast()
+	return r, nil
+}
+
+// Wait blocks until every shard has a result, then merges and returns the
+// archive — byte-for-byte identical to serial Compress over the same
+// stream. It fails when a shard exhausts its retries or Close is called
+// first. Wait shuts the service down before returning; it must be called at
+// most once.
+func (c *Coordinator) Wait() (*core.Archive, error) {
+	c.mu.Lock()
+	for !c.doneLocked() && !c.closed && c.fatalErr == nil {
+		c.cond.Wait()
+	}
+	err := c.fatalErr
+	if err == nil && !c.doneLocked() {
+		err = errors.New("dist: coordinator closed before all shards completed")
+	}
+	results := make([]*core.ShardResult, 0, len(c.results))
+	for _, r := range c.results {
+		results = append(results, r)
+	}
+	c.mu.Unlock()
+
+	// On success, let handlers deliver their done frames before the
+	// connections go away, so every worker exits cleanly; on failure,
+	// force-close to unblock handlers stuck in result reads.
+	c.shutdown(err != nil)
+	if err != nil {
+		return nil, err
+	}
+	return core.MergeShardResults(results)
+}
+
+// shutdown closes the listener, wakes idle handlers and waits for every
+// connection goroutine to exit — after it returns nothing is left running.
+// force additionally closes open connections, unblocking handlers stuck in
+// connection IO; without it handlers finish their current exchange (on a
+// completed run that is exactly sending the final done frames — no handler
+// can be blocked waiting for a result then, because every shard already
+// has one).
+func (c *Coordinator) shutdown(force bool) {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	if force {
+		for conn := range c.open {
+			conn.Close()
+		}
+	}
+	c.mu.Unlock()
+	c.ln.Close()
+	<-c.acceptDone
+	c.conns.Wait()
+}
+
+// Close aborts the run: it stops accepting workers, unblocks Wait with an
+// error if shards are missing, and releases every connection. Safe to call
+// concurrently with Wait and more than once.
+func (c *Coordinator) Close() error {
+	c.shutdown(true)
+	return nil
+}
+
+// MergeShardFiles decodes .fzshard files and merges them into an archive —
+// the offline half of the distributed pipeline, for shards moved between
+// machines as files rather than over the worker protocol.
+func MergeShardFiles(paths []string) (*core.Archive, error) {
+	if len(paths) == 0 {
+		return nil, errors.New("dist: no shard files to merge")
+	}
+	results := make([]*core.ShardResult, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := DecodeShardState(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		results = append(results, r)
+	}
+	a, err := core.MergeShardResults(results)
+	if err != nil {
+		return nil, fmt.Errorf("dist: merging %d shard files: %w", len(paths), err)
+	}
+	return a, nil
+}

@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"flowzip/internal/core"
+	"flowzip/internal/flow"
+)
+
+// Coordinator/worker TCP protocol: a synchronous exchange of framed
+// messages over one connection per worker.
+//
+//	frame := type byte, uvarint payload length, payload
+//
+//	worker → coordinator:  hello   (uvarint protocol version)
+//	coordinator → worker:  assign  (uvarint shard index, count, partition
+//	                                seed, then the serialized Options)
+//	                       done    (no more work; hang up)
+//	worker → coordinator:  result  (one EncodeShardState blob)
+//	both directions:       fail    (uvarint shard index, error string) —
+//	                       a worker reports a compression failure, a
+//	                       coordinator reports a rejected result before
+//	                       hanging up
+//
+// After hello, the coordinator answers each completed exchange with the
+// next assign, so one worker may compress several shards; a worker that
+// disconnects mid-assignment has its shard re-queued for the survivors.
+
+// protoVersion is the protocol generation; a hello with a different version
+// is rejected so mixed deployments fail loudly at registration.
+const protoVersion = 1
+
+const (
+	frameHello  = byte(1)
+	frameAssign = byte(2)
+	frameResult = byte(3)
+	frameFail   = byte(4)
+	frameDone   = byte(5)
+)
+
+// maxFramePayload bounds a result frame so a corrupt peer cannot drive an
+// arbitrary allocation. Shard-state blobs dominate; 1 GiB is far above any
+// realistic shard.
+const maxFramePayload = 1 << 30
+
+// maxControlPayload bounds every other frame — hello, assign, fail, done
+// are all a few dozen bytes, so an unregistered peer (the hello read
+// happens before any validation) can never make the coordinator allocate
+// more than this.
+const maxControlPayload = 1 << 12
+
+// frameName renders a frame type for error messages.
+func frameName(t byte) string {
+	switch t {
+	case frameHello:
+		return "hello"
+	case frameAssign:
+		return "assign"
+	case frameResult:
+		return "result"
+	case frameFail:
+		return "fail"
+	case frameDone:
+		return "done"
+	}
+	return fmt.Sprintf("frame %#x", t)
+}
+
+// writeFrame sends one frame under a write deadline.
+func writeFrame(conn net.Conn, timeout time.Duration, typ byte, payload []byte) error {
+	if err := conn.SetWriteDeadline(deadline(timeout)); err != nil {
+		return err
+	}
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := conn.Write(hdr[:1+n]); err != nil {
+		return fmt.Errorf("dist: send %s: %w", frameName(typ), err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return fmt.Errorf("dist: send %s: %w", frameName(typ), err)
+	}
+	return nil
+}
+
+// readFrame receives one frame under a read deadline, rejecting payloads
+// over limit before allocating anything.
+func readFrame(conn net.Conn, br *bufio.Reader, timeout time.Duration, limit uint64) (byte, []byte, error) {
+	if err := conn.SetReadDeadline(deadline(timeout)); err != nil {
+		return 0, nil, err
+	}
+	typ, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("dist: %s length: %w", frameName(typ), err)
+	}
+	if size > limit {
+		return 0, nil, fmt.Errorf("dist: %s payload %d exceeds limit %d", frameName(typ), size, limit)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, fmt.Errorf("dist: %s payload: %w", frameName(typ), err)
+	}
+	return typ, payload, nil
+}
+
+// deadline converts a timeout to an absolute deadline; zero disables it.
+func deadline(timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(timeout)
+}
+
+// assignment is the decoded payload of an assign frame.
+type assignment struct {
+	index int
+	count int
+	opts  core.Options
+}
+
+func encodeAssignment(a assignment) []byte {
+	var w uvarintWriter
+	w.uvarint(uint64(a.index))
+	w.uvarint(uint64(a.count))
+	w.uvarint(flow.PartitionSeed)
+	w.encodeOptions(a.opts)
+	return w.buf.Bytes()
+}
+
+func decodeAssignment(payload []byte) (assignment, error) {
+	s := &sectionReader{b: payload}
+	var a assignment
+	idx, err := s.uvarint()
+	if err != nil {
+		return a, fmt.Errorf("dist: assign: %w", err)
+	}
+	cnt, err := s.uvarint()
+	if err != nil {
+		return a, fmt.Errorf("dist: assign: %w", err)
+	}
+	if cnt < 1 || cnt > flow.MaxShards || idx >= cnt {
+		return a, fmt.Errorf("dist: assign shard %d of %d out of range", idx, cnt)
+	}
+	a.index, a.count = int(idx), int(cnt)
+	seed, err := s.uvarint()
+	if err != nil {
+		return a, fmt.Errorf("dist: assign: %w", err)
+	}
+	if seed != flow.PartitionSeed {
+		return a, fmt.Errorf("dist: coordinator partitions with seed %d, this build uses %d", seed, flow.PartitionSeed)
+	}
+	o, err := s.decodeOptions()
+	if err != nil {
+		return a, fmt.Errorf("dist: assign options: %w", err)
+	}
+	a.opts = o
+	return a, nil
+}
+
+// encodeFail builds a fail payload: the shard index and the worker's error.
+func encodeFail(index int, msg string) []byte {
+	var w uvarintWriter
+	w.uvarint(uint64(index))
+	w.buf.WriteString(msg)
+	return w.buf.Bytes()
+}
+
+func decodeFail(payload []byte) (int, string, error) {
+	s := &sectionReader{b: payload}
+	idx, err := s.uvarint()
+	if err != nil {
+		return 0, "", fmt.Errorf("dist: fail frame: %w", err)
+	}
+	return int(idx), string(s.b), nil
+}

@@ -11,6 +11,14 @@ import (
 // partition of a multi-million-packet trace stays one byte per packet.
 const MaxShards = 256
 
+// PartitionSeed identifies the generation of the partition function: the
+// FNV-1a hash of the canonical 5-tuple, reduced modulo the shard count. Any
+// change to the hash or the reduction must bump this constant — the
+// distributed pipeline stamps it into serialized shard state so shards
+// partitioned under different schemes are rejected instead of silently
+// merged into a corrupt archive.
+const PartitionSeed uint64 = 1
+
 // Partition assigns every packet to one of shards buckets by the FNV hash of
 // its canonical 5-tuple. Both directions of a conversation share a canonical
 // key, so every packet of a flow lands in the same bucket and each bucket can

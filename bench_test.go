@@ -263,6 +263,36 @@ func BenchmarkCompressParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCompressParallelShared compares the sharded pipeline with and
+// without the shared template store on the template-heavy Web trace. The
+// shared=off/shared=on pairs at equal worker counts are the headline: the
+// merge_match_calls metric is the merge replay's global-store Match count,
+// which the shared snapshot must cut (every snapshot-resolved flow skips the
+// re-cluster), and shared_hits counts the worker lookups a published
+// snapshot absorbed. Archives are byte-identical either way; this benchmark
+// measures only the work saved.
+func BenchmarkCompressParallelShared(b *testing.B) {
+	tr := largeTrace()
+	for _, shared := range []bool{false, true} {
+		for _, workers := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("shared=%v/workers=%d", shared, workers), func(b *testing.B) {
+				b.SetBytes(int64(tr.Len()) * 44)
+				var st flowzip.ParallelStats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg := flowzip.ParallelConfig{Workers: workers, SharedTemplates: shared, Stats: &st}
+					if _, err := flowzip.CompressParallelConfig(tr, flowzip.DefaultOptions(), cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(st.MergeMatchCalls), "merge_match_calls")
+				b.ReportMetric(float64(st.SharedHits), "shared_hits")
+				b.ReportMetric(float64(st.SharedTemplates), "shared_templates")
+			})
+		}
+	}
+}
+
 // BenchmarkCompressStream measures the streaming pipeline over the large
 // Web trace: same shard workers as BenchmarkCompressParallel, but fed in
 // batches through the bounded channels rather than from a resident trace.

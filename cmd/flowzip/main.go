@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2] [-workers 8]
+//	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2] [-workers 8] [-shared-templates]
 //	flowzip compress  -i big.pcap -o big.fz -stream [-maxresident N] [-progress]
 //	flowzip decompress -i web.fz -o back.tsh
 //	flowzip inspect   -i web.fz            (also reads .fzshard shard files)
@@ -16,10 +16,12 @@
 //
 // -workers selects the compression shards: 0 (the default) uses one shard
 // per CPU, 1 runs the serial pipeline; serial, parallel and streaming modes
-// all produce byte-identical archives. -stream reads the input
-// incrementally — a timestamp-sorted capture of any size compresses in
-// bounded memory, with -maxresident capping the packets resident in the
-// pipeline.
+// all produce byte-identical archives. -shared-templates shares one global
+// template snapshot across the shards, shrinking per-shard state and merge
+// work on template-heavy traffic without changing a single output byte.
+// -stream reads the input incrementally — a timestamp-sorted capture of any
+// size compresses in bounded memory, with -maxresident capping the packets
+// resident in the pipeline.
 //
 // The distributed verbs split the same work across processes or machines:
 // shard compresses one 5-tuple partition of a trace into a serializable
@@ -286,6 +288,7 @@ func runCompress(args []string) {
 	out := fs.String("o", "out.fz", "output archive")
 	buildOpts := codecFlags(fs)
 	workers := cli.WorkersFlag(fs, "compression shards")
+	sharedTpl := cli.SharedTemplatesFlag(fs, "compression shards")
 	stream := fs.Bool("stream", false, "stream the input in bounded memory (requires timestamp-sorted input)")
 	maxResident := cli.MaxResidentFlag(fs)
 	progress := fs.Bool("progress", false, "streaming: report packet progress on stderr")
@@ -314,7 +317,7 @@ func runCompress(args []string) {
 			log.Fatal(err)
 		}
 		defer src.Close()
-		cfg := core.StreamConfig{Workers: *workers, MaxResident: *maxResident}
+		cfg := core.StreamConfig{Workers: *workers, MaxResident: *maxResident, SharedTemplates: *sharedTpl}
 		if *progress {
 			cfg.Progress = func(packets int64) {
 				fmt.Fprintf(os.Stderr, "\rflowzip: compressed %d packets", packets)
@@ -335,7 +338,8 @@ func runCompress(args []string) {
 		if !tr.IsSorted() {
 			tr.Sort()
 		}
-		arch, err = core.CompressParallel(tr, opts, *workers)
+		arch, err = core.CompressParallelConfig(tr, opts,
+			core.ParallelConfig{Workers: *workers, SharedTemplates: *sharedTpl})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -426,6 +430,9 @@ func inspectShard(name string, r *bufio.Reader) {
 	t.AddRowf("stream packets", h.Packets)
 	t.AddRowf("partition seed", h.PartitionSeed)
 	t.AddRowf("options fingerprint", fmt.Sprintf("%016x", h.Fingerprint))
+	if h.SharedGen != 0 {
+		t.AddRowf("shared store", fmt.Sprintf("%016x", h.SharedGen))
+	}
 	t.AddRowf("weights", h.Opts.Weights.String())
 	t.AddRowf("short max", h.Opts.ShortMax)
 	t.AddRowf("limit %", h.Opts.LimitPct)

@@ -33,6 +33,17 @@
 //	archive, err := flowzip.CompressParallel(tr, flowzip.DefaultOptions(), 0)
 //	// workers <= 0 means one shard per CPU; workers == 1 is the serial path
 //
+// On template-heavy traffic the shards keep rediscovering the same
+// short-flow vectors. CompressParallelConfig (and
+// StreamConfig.SharedTemplates) attaches one lock-free global template
+// snapshot to all workers — per-shard state shrinks to overflow-only
+// vectors and the merge re-clusters far less, while the archive bytes stay
+// identical; ParallelStats reports the saved work:
+//
+//	var stats flowzip.ParallelStats
+//	archive, err := flowzip.CompressParallelConfig(tr, flowzip.DefaultOptions(),
+//		flowzip.ParallelConfig{SharedTemplates: true, Stats: &stats})
+//
 // # Streaming compression
 //
 // Captures larger than memory compress through the PacketSource seam:

@@ -44,8 +44,18 @@ type (
 	// CompressStream. Implementations: TraceSource, OpenPcap, StreamWeb.
 	PacketSource = core.PacketSource
 	// StreamConfig tunes CompressStreamConfig (workers, residency window,
-	// progress reporting).
+	// progress reporting, shared templates).
 	StreamConfig = core.StreamConfig
+	// ParallelConfig tunes CompressParallelConfig (workers, shared
+	// templates, pipeline statistics).
+	ParallelConfig = core.ParallelConfig
+	// ParallelStats reports what a sharded compression run actually did —
+	// worker count after clamping, merge Match calls, shared-snapshot
+	// traffic.
+	ParallelStats = core.ParallelStats
+	// TooManyPacketsError reports a trace beyond CompressParallel's int32
+	// packet-index bound; streams that large go through CompressStream.
+	TooManyPacketsError = core.TooManyPacketsError
 	// PcapSource streams a pcap capture file in bounded batches.
 	PcapSource = pcap.Source
 	// WebSource streams the synthetic Web generator in bounded memory.
@@ -120,9 +130,19 @@ func Compress(tr *Trace, opts Options) (*Archive, error) { return core.Compress(
 // partitioning packets by 5-tuple hash and deterministically merging the
 // per-shard results. The archive is byte-for-byte identical to the serial
 // Compress output. workers <= 0 uses one shard per CPU; workers == 1 is the
-// serial path.
+// serial path; counts beyond 256 shards are clamped.
 func CompressParallel(tr *Trace, opts Options, workers int) (*Archive, error) {
 	return core.CompressParallel(tr, opts, workers)
+}
+
+// CompressParallelConfig is CompressParallel with shared-template control
+// and pipeline statistics: with SharedTemplates on, shard workers consult
+// one global template snapshot before their private overflow stores, so the
+// merge replay re-clusters only overflow flows plus each shared vector's
+// first occurrence — same archive bytes, measurably less merge work
+// (observable through ParallelStats).
+func CompressParallelConfig(tr *Trace, opts Options, cfg ParallelConfig) (*Archive, error) {
+	return core.CompressParallelConfig(tr, opts, cfg)
 }
 
 // CompressStream compresses a packet stream without materializing it:

@@ -17,7 +17,7 @@ import (
 // binary that exposes the flag renders its usage from this template, so the
 // default semantics (0 = one shard per CPU, 1 = the serial pipeline) are
 // documented identically everywhere.
-const workersTemplate = "%s: 0 = one shard per CPU (default), 1 = the serial pipeline, capped at %d"
+const workersTemplate = "%s: 0 = one shard per CPU (default), 1 = the serial pipeline, at most %d"
 
 // WorkersUsage renders the canonical -workers help text for the given
 // purpose ("compression shards", ...).
@@ -30,11 +30,18 @@ func WorkersFlag(fs *flag.FlagSet, purpose string) *int {
 	return fs.Int("workers", 0, WorkersUsage(purpose))
 }
 
-// ValidateWorkers rejects the values the pipelines reject, with the error
-// message every command prints identically.
+// ValidateWorkers rejects worker counts outside [0, flow.MaxShards] with the
+// error message every command prints identically. The library pipelines
+// clamp oversized counts to the partition bound (so programmatic callers
+// cannot be broken by a big machine's CPU count); at the command line an
+// oversized request is a misconfiguration, and every verb rejects it here
+// instead of silently running with fewer workers than asked.
 func ValidateWorkers(n int) error {
 	if n < 0 {
 		return fmt.Errorf("-workers %d must be >= 0 (0 = one shard per CPU, 1 = serial)", n)
+	}
+	if n > flow.MaxShards {
+		return fmt.Errorf("-workers %d exceeds the %d-shard partition bound", n, flow.MaxShards)
 	}
 	return nil
 }
@@ -69,6 +76,16 @@ func ValidateShardIndex(index, shards int) error {
 		return fmt.Errorf("-shard %d must be in [0,%d)", index, shards)
 	}
 	return nil
+}
+
+// sharedTemplatesTemplate is the single source of the -shared-templates
+// help text: the flag is documented identically wherever the parallel or
+// streaming pipelines are exposed.
+const sharedTemplatesTemplate = "share one global template snapshot across %s (workers consult it before their private overflow store; output is byte-identical, the merge just re-clusters less)"
+
+// SharedTemplatesFlag registers the canonical -shared-templates flag on fs.
+func SharedTemplatesFlag(fs *flag.FlagSet, purpose string) *bool {
+	return fs.Bool("shared-templates", false, fmt.Sprintf(sharedTemplatesTemplate, purpose))
 }
 
 // maxResidentTemplate is the single source of the -maxresident help text

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"strings"
 	"testing"
+
+	"flowzip/internal/flow"
 )
 
 // TestWorkersFlagDocumentsDefaults pins the generated help text to the
@@ -26,13 +28,42 @@ func TestWorkersFlagDocumentsDefaults(t *testing.T) {
 	}
 }
 
+// TestValidateWorkers pins the boundary values of the worker count: the
+// clamp the library applies silently is a hard error at the command line,
+// consistently across every verb that registers the flag.
 func TestValidateWorkers(t *testing.T) {
 	if err := ValidateWorkers(-1); err == nil {
 		t.Error("negative workers accepted")
 	}
-	for _, n := range []int{0, 1, 8} {
+	for _, n := range []int{0, 1, 8, flow.MaxShards} {
 		if err := ValidateWorkers(n); err != nil {
 			t.Errorf("workers %d rejected: %v", n, err)
+		}
+	}
+	err := ValidateWorkers(flow.MaxShards + 1)
+	if err == nil {
+		t.Fatalf("workers %d accepted despite the %d-shard bound", flow.MaxShards+1, flow.MaxShards)
+	}
+	if !strings.Contains(err.Error(), "partition bound") {
+		t.Errorf("oversized workers error %q does not name the bound", err)
+	}
+}
+
+// TestSharedTemplatesFlag pins the shared-store flag's canonical name,
+// default and help text.
+func TestSharedTemplatesFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	SharedTemplatesFlag(fs, "compression shards")
+	f := fs.Lookup("shared-templates")
+	if f == nil {
+		t.Fatal("-shared-templates not registered")
+	}
+	if f.DefValue != "false" {
+		t.Errorf("default %q, want false", f.DefValue)
+	}
+	for _, want := range []string{"compression shards", "snapshot", "byte-identical"} {
+		if !strings.Contains(f.Usage, want) {
+			t.Errorf("usage %q missing %q", f.Usage, want)
 		}
 	}
 }

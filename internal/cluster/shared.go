@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"flowzip/internal/flow"
+)
+
+// SharedStore is the concurrency-safe global template store shared by the
+// shard workers of one parallel compression run. It interns exact
+// short-flow vectors (the same exact-duplicate semantics as a shard's
+// private store) and publishes them to readers as immutable snapshots:
+//
+//   - Lookup is lock-free: it consults the current snapshot through one
+//     atomic pointer load. A hit resolves the vector to a stable global id.
+//   - Propose stages a vector a shard discovered locally. Staged vectors
+//     become visible to Lookup only when the next epoch is published — an
+//     atomic swap to a rebuilt snapshot — so readers never observe a map
+//     mid-mutation and never take the writer lock.
+//   - Epochs are append-only: a published vector keeps its global id
+//     forever, and every snapshot's vector table is a strict prefix of the
+//     next one.
+//
+// Exactness is what keeps the parallel pipelines byte-identical to serial
+// Compress: a snapshot hit asserts only "this exact vector occurs
+// elsewhere in the run", never a similarity judgement. The merge replay
+// resolves each global id with one first-fit Match at the id's first
+// occurrence in serial finalize order — exactly the call serial Compress
+// makes there — and reuses that answer for every later occurrence, which
+// is sound because the global store's buckets are append-only and the
+// first-fit answer for a fixed vector never changes once computed (see
+// Store.EnableMemo). Publication timing therefore affects only how much
+// work is saved, never the archive bytes.
+type SharedStore struct {
+	gen      uint64
+	minStage int
+	snap     atomic.Pointer[sharedEpoch]
+
+	mu     sync.Mutex
+	vecs   []flow.Vector    // every interned vector, by global id; append-only
+	staged map[string]int32 // interned since the last publish
+	epochs int
+}
+
+// sharedEpoch is one immutable published snapshot.
+type sharedEpoch struct {
+	ids  map[string]int32 // vector bytes -> global id
+	vecs []flow.Vector    // prefix of the store's global table
+}
+
+// DefaultEpochStage is the number of staged vectors that triggers a
+// snapshot publish (the floor; the trigger grows geometrically with the
+// published set so total rebuild cost stays linear).
+const DefaultEpochStage = 64
+
+// maxSharedTemplates bounds the global id space to what an int32 template
+// reference can address (and to what fits an int on 32-bit platforms).
+const maxSharedTemplates = math.MaxInt32
+
+// NewSharedStore builds a store with the default epoch size.
+func NewSharedStore() *SharedStore { return NewSharedStoreEpoch(0) }
+
+// NewSharedStoreEpoch builds a store that publishes a new snapshot every
+// minStage staged vectors (<= 0 selects DefaultEpochStage). Tests use 1 to
+// make every Propose immediately visible.
+func NewSharedStoreEpoch(minStage int) *SharedStore {
+	if minStage <= 0 {
+		minStage = DefaultEpochStage
+	}
+	gen := rand.Uint64()
+	for gen == 0 {
+		gen = rand.Uint64()
+	}
+	s := &SharedStore{gen: gen, minStage: minStage, staged: make(map[string]int32)}
+	s.snap.Store(&sharedEpoch{ids: map[string]int32{}})
+	return s
+}
+
+// Gen identifies this store instance. Serialized shard state stamps it so a
+// merge cannot resolve global ids against a different store's id space; it
+// is never zero (zero marks state with no shared references).
+func (s *SharedStore) Gen() uint64 { return s.gen }
+
+// Lookup resolves v against the current snapshot. ok reports a hit; gid is
+// the vector's stable global id. The read path is deliberately pure — one
+// atomic pointer load plus a map probe, no shared counters — so concurrent
+// workers never contend; callers wanting hit statistics count in their own
+// single-threaded state (as the shard workers do).
+func (s *SharedStore) Lookup(v flow.Vector) (gid int32, ok bool) {
+	gid, ok = s.snap.Load().ids[string(v)]
+	return gid, ok
+}
+
+// Propose stages v for publication in a future epoch. Duplicates of already
+// published or staged vectors are ignored, so proposing from every shard
+// that misses is safe and cheap.
+func (s *SharedStore) Propose(v flow.Vector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep := s.snap.Load()
+	if _, ok := ep.ids[string(v)]; ok {
+		return
+	}
+	if _, ok := s.staged[string(v)]; ok {
+		return
+	}
+	if len(s.vecs) >= maxSharedTemplates {
+		return // id space exhausted; further vectors stay shard-private
+	}
+	cp := append(flow.Vector(nil), v...)
+	s.staged[string(cp)] = int32(len(s.vecs))
+	s.vecs = append(s.vecs, cp)
+	if len(s.staged) >= s.stageLimitLocked(len(ep.ids)) {
+		s.publishLocked(ep)
+	}
+}
+
+// stageLimitLocked is the publish trigger: at least minStage, growing with
+// the published set so the total cost of rebuilding snapshot maps stays
+// linear in the number of distinct vectors.
+func (s *SharedStore) stageLimitLocked(published int) int {
+	if g := published / 4; g > s.minStage {
+		return g
+	}
+	return s.minStage
+}
+
+// FlushEpoch publishes any staged vectors immediately.
+func (s *SharedStore) FlushEpoch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.staged) > 0 {
+		s.publishLocked(s.snap.Load())
+	}
+}
+
+func (s *SharedStore) publishLocked(ep *sharedEpoch) {
+	ids := make(map[string]int32, len(ep.ids)+len(s.staged))
+	for k, id := range ep.ids {
+		ids[k] = id
+	}
+	for k, id := range s.staged {
+		ids[k] = id
+	}
+	// Freeze the vector table at its current length. Later appends may grow
+	// the backing array in place, but elements below len are never written
+	// again, so the published prefix is immutable.
+	s.snap.Store(&sharedEpoch{ids: ids, vecs: s.vecs[:len(s.vecs):len(s.vecs)]})
+	s.staged = make(map[string]int32)
+	s.epochs++
+}
+
+// Vector returns the vector registered under gid. The snapshot satisfies
+// every id a Lookup can have handed out; the locked fallback also covers
+// staged-but-unpublished ids for callers holding one from Propose-time
+// bookkeeping.
+func (s *SharedStore) Vector(gid int32) (flow.Vector, bool) {
+	if gid < 0 {
+		return nil, false
+	}
+	if ep := s.snap.Load(); int(gid) < len(ep.vecs) {
+		return ep.vecs[gid], true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(gid) < len(s.vecs) {
+		return s.vecs[gid], true
+	}
+	return nil, false
+}
+
+// Len returns the number of distinct vectors interned (published + staged).
+func (s *SharedStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vecs)
+}
+
+// SnapshotLen returns the number of vectors visible to Lookup right now.
+func (s *SharedStore) SnapshotLen() int { return len(s.snap.Load().vecs) }
+
+// SharedStats summarizes SharedStore occupancy. Lookup traffic is not
+// counted here — the read path stays contention-free — so hit statistics
+// live with the (single-threaded) callers.
+type SharedStats struct {
+	Templates int // distinct vectors interned (published + staged)
+	Published int // vectors visible in the current snapshot
+	Epochs    int // snapshots published
+}
+
+// Stats returns a consistent point-in-time view of store occupancy.
+func (s *SharedStore) Stats() SharedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SharedStats{
+		Templates: len(s.vecs),
+		Published: len(s.snap.Load().vecs),
+		Epochs:    s.epochs,
+	}
+}

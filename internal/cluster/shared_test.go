@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"flowzip/internal/flow"
+)
+
+func TestSharedStoreProposePublishLookup(t *testing.T) {
+	s := NewSharedStoreEpoch(1) // every propose publishes
+	v := vec(1, 2, 3)
+	if _, ok := s.Lookup(v); ok {
+		t.Fatal("empty store resolved a vector")
+	}
+	s.Propose(v)
+	gid, ok := s.Lookup(v)
+	if !ok {
+		t.Fatal("published vector not resolved")
+	}
+	got, ok := s.Vector(gid)
+	if !ok || flow.Distance(got, v) != 0 || len(got) != len(v) {
+		t.Fatalf("Vector(%d) = %v %v, want %v", gid, got, ok, v)
+	}
+	// Duplicate proposes are ignored; the id is stable.
+	s.Propose(v)
+	if gid2, _ := s.Lookup(v); gid2 != gid {
+		t.Fatalf("duplicate propose moved the id: %d -> %d", gid, gid2)
+	}
+	if s.Len() != 1 || s.SnapshotLen() != 1 {
+		t.Fatalf("len = %d/%d, want 1/1", s.Len(), s.SnapshotLen())
+	}
+}
+
+func TestSharedStoreEpochStaging(t *testing.T) {
+	s := NewSharedStoreEpoch(3)
+	a, b := vec(1), vec(2)
+	s.Propose(a)
+	s.Propose(b)
+	if _, ok := s.Lookup(a); ok {
+		t.Fatal("staged vector visible before the epoch published")
+	}
+	if s.SnapshotLen() != 0 || s.Len() != 2 {
+		t.Fatalf("snapshot/total = %d/%d, want 0/2", s.SnapshotLen(), s.Len())
+	}
+	// Staged ids are already resolvable through the locked fallback.
+	if v, ok := s.Vector(0); !ok || flow.Distance(v, a) != 0 {
+		t.Fatalf("staged Vector(0) = %v %v", v, ok)
+	}
+	s.Propose(vec(3)) // third stage crosses the threshold
+	if _, ok := s.Lookup(a); !ok {
+		t.Fatal("vector not visible after the epoch published")
+	}
+	st := s.Stats()
+	if st.Epochs != 1 || st.Published != 3 || st.Templates != 3 {
+		t.Fatalf("stats = %+v, want 1 epoch, 3 published, 3 templates", st)
+	}
+	// FlushEpoch publishes a partial stage immediately.
+	s.Propose(vec(4))
+	if _, ok := s.Lookup(vec(4)); ok {
+		t.Fatal("fourth vector published early")
+	}
+	s.FlushEpoch()
+	if _, ok := s.Lookup(vec(4)); !ok {
+		t.Fatal("FlushEpoch did not publish the staged vector")
+	}
+}
+
+func TestSharedStoreVectorBounds(t *testing.T) {
+	s := NewSharedStore()
+	if _, ok := s.Vector(-1); ok {
+		t.Fatal("negative id resolved")
+	}
+	if _, ok := s.Vector(0); ok {
+		t.Fatal("empty store resolved id 0")
+	}
+	if s.Gen() == 0 {
+		t.Fatal("generation must be nonzero")
+	}
+	if NewSharedStore().Gen() == s.Gen() {
+		t.Fatal("two stores share a generation")
+	}
+}
+
+func TestSharedStoreStatsOccupancy(t *testing.T) {
+	s := NewSharedStoreEpoch(2)
+	s.Propose(vec(9, 9))
+	if st := s.Stats(); st.Templates != 1 || st.Published != 0 || st.Epochs != 0 {
+		t.Fatalf("stats = %+v, want 1 staged template, nothing published", st)
+	}
+	s.Propose(vec(8, 8))
+	if st := s.Stats(); st.Templates != 2 || st.Published != 2 || st.Epochs != 1 {
+		t.Fatalf("stats = %+v, want 2 published templates in 1 epoch", st)
+	}
+}
+
+// TestSharedStoreConcurrent hammers the store from many goroutines (run
+// under -race). Afterwards every proposed vector must resolve to an id that
+// maps back to the same bytes, and ids must be dense and unique.
+func TestSharedStoreConcurrent(t *testing.T) {
+	s := NewSharedStoreEpoch(8)
+	const workers = 8
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Overlapping key spaces so shards race on the same vectors.
+				v := vec(uint8(i%64), uint8((i+w)%64), uint8(i/64))
+				if gid, ok := s.Lookup(v); ok {
+					if got, ok := s.Vector(gid); !ok || flow.Distance(got, v) != 0 {
+						t.Errorf("worker %d: hit id %d resolved to %v", w, gid, got)
+						return
+					}
+				} else {
+					s.Propose(v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.FlushEpoch()
+
+	n := s.Len()
+	if s.SnapshotLen() != n {
+		t.Fatalf("snapshot %d != total %d after flush", s.SnapshotLen(), n)
+	}
+	seen := make(map[string]bool, n)
+	for gid := 0; gid < n; gid++ {
+		v, ok := s.Vector(int32(gid))
+		if !ok {
+			t.Fatalf("dense id %d does not resolve", gid)
+		}
+		key := string(v)
+		if seen[key] {
+			t.Fatalf("vector %v interned twice", v)
+		}
+		seen[key] = true
+		if got, ok := s.Lookup(v); !ok || int(got) != gid {
+			t.Fatalf("Lookup(%v) = %d %v, want %d", v, got, ok, gid)
+		}
+	}
+}
+
+// Published snapshots must be immutable: a reader holding an old snapshot id
+// keeps resolving it while later epochs grow the store.
+func TestSharedStoreOldSnapshotStable(t *testing.T) {
+	s := NewSharedStoreEpoch(1)
+	s.Propose(vec(1))
+	gid, ok := s.Lookup(vec(1))
+	if !ok {
+		t.Fatal("first vector not published")
+	}
+	for i := 2; i < 200; i++ {
+		s.Propose(vec(uint8(i), uint8(i>>4)))
+	}
+	if v, ok := s.Vector(gid); !ok || flow.Distance(v, vec(1)) != 0 {
+		t.Fatalf("id %d no longer resolves after growth: %v %v", gid, v, ok)
+	}
+}
+
+func TestSharedStoreGeometricEpochs(t *testing.T) {
+	s := NewSharedStoreEpoch(2)
+	for i := 0; i < 1000; i++ {
+		s.Propose(vec(uint8(i), uint8(i>>8), 7))
+	}
+	st := s.Stats()
+	// Geometric growth keeps publishes far below one-per-propose.
+	if st.Epochs == 0 || st.Epochs > 60 {
+		t.Fatalf("epochs = %d, want a small nonzero count", st.Epochs)
+	}
+	if st.Templates != 1000 {
+		t.Fatalf("templates = %d, want 1000", st.Templates)
+	}
+}
+
+func BenchmarkSharedStoreLookup(b *testing.B) {
+	s := NewSharedStoreEpoch(1)
+	vs := make([]flow.Vector, 256)
+	for i := range vs {
+		vs[i] = vec(uint8(i), uint8(i/7), 3, 4)
+		s.Propose(vs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(vs[i&255]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func ExampleSharedStore() {
+	s := NewSharedStoreEpoch(1)
+	s.Propose(flow.Vector{21, 37, 58})
+	gid, ok := s.Lookup(flow.Vector{21, 37, 58})
+	fmt.Println(gid, ok)
+	// Output: 0 true
+}

@@ -115,11 +115,37 @@ func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
 }
 
 // Insert installs v as a new template unconditionally (the long-flow path:
-// "for long flows, we do not perform any search").
+// "for long flows, we do not perform any search"). Like a Match miss it
+// counts toward misses, so HitRate and Stats reflect Insert traffic too and
+// Stats().Created always equals the number of templates created.
 func (s *Store) Insert(v flow.Vector) *Template {
+	// Memo maintenance must preserve the invariant that a cached entry is
+	// the linear scan's first-fit answer. An existing entry stays correct
+	// (buckets are append-only, so a prior first fit never changes); for an
+	// absent key the true answer is either an earlier template already
+	// within the limit of v, or — only when no such template exists — the
+	// template this Insert creates. One Find resolves which.
+	var memoTpl *Template
+	registerNew := false
+	if s.memo != nil {
+		if _, ok := s.memo[string(v)]; !ok {
+			if prior := s.Find(v); prior != nil {
+				memoTpl = prior
+			} else {
+				registerNew = true
+			}
+		}
+	}
 	t := &Template{ID: len(s.templates), Vector: append(flow.Vector(nil), v...), Members: 1}
 	s.templates = append(s.templates, t)
 	s.byLen[len(v)] = append(s.byLen[len(v)], t)
+	if registerNew {
+		memoTpl = t
+	}
+	if memoTpl != nil {
+		s.memo[string(t.Vector)] = memoTpl
+	}
+	s.misses++
 	return t
 }
 
@@ -137,7 +163,9 @@ func (s *Store) Len() int { return len(s.templates) }
 // Templates returns all templates in creation order.
 func (s *Store) Templates() []*Template { return s.templates }
 
-// HitRate returns the fraction of Match calls that reused a template.
+// HitRate returns the fraction of flows that reused a template: Match hits
+// over all Match and Insert traffic (an Insert always creates, so it counts
+// as a non-reuse).
 func (s *Store) HitRate() float64 {
 	total := s.matches + s.misses
 	if total == 0 {
@@ -146,7 +174,9 @@ func (s *Store) HitRate() float64 {
 	return float64(s.matches) / float64(total)
 }
 
-// Stats summarizes store occupancy.
+// Stats summarizes store occupancy. Created counts both Match misses and
+// Inserts, so it always equals Templates (every template was created by
+// exactly one of the two paths).
 type Stats struct {
 	Templates int
 	Matched   int64 // flows that reused a template

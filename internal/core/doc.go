@@ -38,4 +38,13 @@
 // against a template store with serial first-fit semantics. Template
 // numbers, address numbers and the time-seq dataset therefore come out
 // identical, whichever mode ran.
+//
+// ParallelConfig.SharedTemplates / StreamConfig.SharedTemplates attach a
+// run-global cluster.SharedStore to the shard workers: exact short-flow
+// vectors the published snapshot resolves are recorded as global ids
+// instead of per-shard template copies, so shard state shrinks to
+// overflow-only vectors and the merge re-clusters only overflow flows plus
+// each shared vector's first occurrence. Snapshot hits are exact
+// duplicates, so the archive bytes stay identical; ParallelStats reports
+// the merge Match calls saved.
 package core

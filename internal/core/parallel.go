@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -21,7 +22,10 @@ import (
 //     flow.Table and deduplicates short-flow vectors in a private
 //     exact-match cluster.Store. Each finalized flow is captured as a
 //     shardFlow — vector, timing and the global index of the packet that
-//     closed it — so the merge never has to touch packets again.
+//     closed it — so the merge never has to touch packets again. With
+//     SharedTemplates on, workers first consult a run-global
+//     cluster.SharedStore snapshot and only fall back to the private store
+//     (the overflow store) for vectors the snapshot cannot resolve.
 //  3. Merge: shard results are interleaved back into the exact order the
 //     serial compressor would have finalized them (closing-packet order,
 //     then flush order), shard-local templates are re-clustered into one
@@ -42,6 +46,33 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // flow closed by a FIN/RST pair, mirroring the serial compressor.
 const flushMark = int64(math.MaxInt64)
 
+// maxParallelPackets bounds the in-memory parallel pipeline: packet indices
+// are bucketed as int32, so a larger trace must use the int64-indexed
+// CompressStream instead of silently wrapping.
+const maxParallelPackets = math.MaxInt32
+
+// TooManyPacketsError reports a trace too large for CompressParallel's
+// int32 packet-index bucketing. Streams of any length are still
+// compressible through CompressStream, which indexes packets with int64.
+type TooManyPacketsError struct {
+	Packets int64
+}
+
+func (e *TooManyPacketsError) Error() string {
+	return fmt.Sprintf("core: trace has %d packets, beyond the %d-packet bound of the in-memory parallel pipeline (use CompressStream)",
+		e.Packets, int64(maxParallelPackets))
+}
+
+// checkParallelPackets rejects traces whose packet indices would overflow
+// the int32 bucketing. It takes int64 so the bound itself is expressible on
+// 32-bit platforms (where a larger in-memory trace cannot exist anyway).
+func checkParallelPackets(n int64) error {
+	if n > maxParallelPackets {
+		return &TooManyPacketsError{Packets: n}
+	}
+	return nil
+}
+
 // ShardFlow is one finalized flow as captured by a shard worker: everything
 // the merge needs to replay the serial finalize step. The fields are exported
 // so the distributed pipeline (internal/dist) can serialize shard results and
@@ -52,8 +83,9 @@ type ShardFlow struct {
 	Hash     uint64
 	Server   pkt.IPv4
 	Long     bool
+	Shared   bool // short flows: Template is a shared-store global id, not a shard-store id
 	Shard    uint16
-	Template int32           // short flows: shard-store template id
+	Template int32           // short flows: shard-store template id, or shared global id when Shared
 	RTT      time.Duration   // short flows
 	LongF    flow.Vector     // long flows
 	Gaps     []time.Duration // long flows
@@ -62,7 +94,11 @@ type ShardFlow struct {
 // shardState is the output of one shard worker.
 type shardState struct {
 	flows []ShardFlow
-	store *cluster.Store // exact-duplicate short-vector store
+	store *cluster.Store // exact-duplicate short-vector store (the overflow store)
+	// Snapshot traffic, counted here (single-threaded per worker) so the
+	// SharedStore's lock-free read path carries no shared counters.
+	sharedLookups int64
+	sharedHits    int64
 }
 
 // exactLimit makes a cluster.Store group only identical vectors: the L1
@@ -76,14 +112,26 @@ func exactLimit(int) int { return 1 }
 // the in-memory path (compressShard) and the streaming workers
 // (CompressStream) drive it, so the two pipelines finalize flows
 // identically.
+//
+// When shared is non-nil, every short-flow vector is first resolved against
+// the shared snapshot (lock-free); only snapshot misses touch the private
+// overflow store, and vectors new to the shard are proposed for future
+// epochs so other shards start hitting them. A snapshot hit is an exact
+// match, so the flow carries the same vector either way and the merge
+// output is byte-identical — sharing only changes how much state ships and
+// how much Match work the merge repeats.
 type shardCompressor struct {
-	st    *shardState
-	table *flow.Table
-	cur   int64 // global index of the packet being added
+	st     *shardState
+	table  *flow.Table
+	shared *cluster.SharedStore
+	cur    int64 // global index of the packet being added
 }
 
-func newShardCompressor(opts Options, sid uint16) *shardCompressor {
-	c := &shardCompressor{st: &shardState{store: cluster.NewStoreLimit(exactLimit).EnableMemo()}}
+func newShardCompressor(opts Options, sid uint16, shared *cluster.SharedStore) *shardCompressor {
+	c := &shardCompressor{
+		st:     &shardState{store: cluster.NewStoreLimit(exactLimit).EnableMemo()},
+		shared: shared,
+	}
 	c.table = flow.NewTable(func(f *flow.Flow) {
 		sf := ShardFlow{
 			CloseIdx: c.cur,
@@ -94,9 +142,17 @@ func newShardCompressor(opts Options, sid uint16) *shardCompressor {
 		}
 		v := f.Vector(opts.Weights)
 		if f.Len() <= opts.ShortMax {
-			t, _ := c.st.store.Match(v)
-			sf.Template = int32(t.ID)
 			sf.RTT = f.EstimateRTT()
+			if gid, ok := c.sharedLookup(v); ok {
+				sf.Shared = true
+				sf.Template = gid
+			} else {
+				t, created := c.st.store.Match(v)
+				sf.Template = int32(t.ID)
+				if created && c.shared != nil {
+					c.shared.Propose(v)
+				}
+			}
 		} else {
 			sf.Long = true
 			sf.LongF = v
@@ -105,6 +161,20 @@ func newShardCompressor(opts Options, sid uint16) *shardCompressor {
 		c.st.flows = append(c.st.flows, sf)
 	})
 	return c
+}
+
+// sharedLookup consults the shared snapshot, when one is attached, and
+// keeps the worker-local hit statistics.
+func (c *shardCompressor) sharedLookup(v flow.Vector) (int32, bool) {
+	if c.shared == nil {
+		return 0, false
+	}
+	gid, ok := c.shared.Lookup(v)
+	c.st.sharedLookups++
+	if ok {
+		c.st.sharedHits++
+	}
+	return gid, ok
 }
 
 // add feeds one packet, recording its global (timestamp-order) index so a
@@ -124,24 +194,81 @@ func (c *shardCompressor) finish() *shardState {
 
 // compressShard assembles and characterizes the flows of one shard. bucket
 // holds the shard's packet indices in global (timestamp) order.
-func compressShard(tr *trace.Trace, opts Options, bucket []int32, sid uint16) *shardState {
-	c := newShardCompressor(opts, sid)
+func compressShard(tr *trace.Trace, opts Options, bucket []int32, sid uint16, shared *cluster.SharedStore) *shardState {
+	c := newShardCompressor(opts, sid, shared)
 	for _, i := range bucket {
 		c.add(int64(i), &tr.Packets[i])
 	}
 	return c.finish()
 }
 
+// ParallelConfig tunes CompressParallelConfig beyond the plain
+// CompressParallel(tr, opts, workers) entry point.
+type ParallelConfig struct {
+	// Workers is the shard count: 0 = one per CPU, 1 = the serial pipeline.
+	// Counts beyond flow.MaxShards are clamped to it; Stats.Workers reports
+	// the count actually used (callers wanting a hard failure instead of the
+	// clamp should validate up front, as internal/cli does).
+	Workers int
+	// SharedTemplates shares one global template snapshot across the shard
+	// workers (see cluster.SharedStore): workers consult it before their
+	// private overflow store, shard state shrinks to overflow-only vectors,
+	// and the merge replay re-clusters only overflow flows plus the first
+	// occurrence of each shared vector. Output bytes are identical either
+	// way. The in-memory pipeline engages it from 2 workers up (1 worker is
+	// the serial path).
+	SharedTemplates bool
+	// Stats, when non-nil, receives the run's pipeline counters.
+	Stats *ParallelStats
+}
+
+// ParallelStats reports what the sharded pipelines actually did — the
+// observable difference SharedTemplates makes (the archive bytes never
+// change).
+type ParallelStats struct {
+	Workers int // shard count after defaulting and clamping
+
+	// MergeMatchCalls counts global-store Match invocations during the
+	// merge replay: one per short flow without a shared store, one per
+	// overflow flow plus one per distinct shared vector with it.
+	MergeMatchCalls int64
+	// SharedFlows and OverflowFlows split the short flows by how the shard
+	// workers resolved them: against a published snapshot, or against the
+	// shard's private overflow store. Without SharedTemplates every short
+	// flow is an overflow flow.
+	SharedFlows   int64
+	OverflowFlows int64
+
+	// Shared-store counters (zero without SharedTemplates).
+	SharedLookups   int64 // snapshot consultations by shard workers
+	SharedHits      int64 // lookups resolved by a published snapshot
+	SharedTemplates int   // distinct vectors interned in the shared store
+	SharedEpochs    int   // snapshots published during the run
+}
+
 // CompressParallel compresses tr across workers shards and merges the
 // results into an archive semantically identical to Compress(tr, opts) —
 // byte-for-byte equal once encoded, hence with an identical Ratio. workers
-// <= 0 selects DefaultWorkers; one worker falls back to the serial path.
+// <= 0 selects DefaultWorkers; one worker falls back to the serial path;
+// counts beyond flow.MaxShards are clamped (use CompressParallelConfig with
+// Stats to observe the effective count, or internal/cli's validation to
+// reject oversized requests up front).
 func CompressParallel(tr *trace.Trace, opts Options, workers int) (*Archive, error) {
+	return CompressParallelConfig(tr, opts, ParallelConfig{Workers: workers})
+}
+
+// CompressParallelConfig is CompressParallel with shared-template control
+// and pipeline statistics.
+func CompressParallelConfig(tr *trace.Trace, opts Options, cfg ParallelConfig) (*Archive, error) {
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
 	if workers > flow.MaxShards {
 		workers = flow.MaxShards
+	}
+	if cfg.Stats != nil {
+		*cfg.Stats = ParallelStats{Workers: workers}
 	}
 	if workers == 1 {
 		return Compress(tr, opts)
@@ -152,12 +279,15 @@ func CompressParallel(tr *trace.Trace, opts Options, workers int) (*Archive, err
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if err := checkParallelPackets(int64(tr.Len())); err != nil {
+		return nil, err
+	}
 
 	ids := flow.Partition(tr.Packets, workers, workers)
 
 	// Bucket packet indices per shard so each worker walks only its own
-	// packets rather than rescanning the whole id array. Indices fit int32:
-	// an in-memory trace is bounded far below 2^31 packets.
+	// packets rather than rescanning the whole id array. Indices fit int32
+	// because checkParallelPackets bounded the trace above.
 	counts := make([]int, workers)
 	for _, id := range ids {
 		counts[id]++
@@ -170,30 +300,41 @@ func CompressParallel(tr *trace.Trace, opts Options, workers int) (*Archive, err
 		buckets[id] = append(buckets[id], int32(i))
 	}
 
+	var shared *cluster.SharedStore
+	if cfg.SharedTemplates {
+		shared = cluster.NewSharedStore()
+	}
 	shards := make([]*shardState, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			shards[w] = compressShard(tr, opts, buckets[w], uint16(w))
+			shards[w] = compressShard(tr, opts, buckets[w], uint16(w), shared)
 		}(w)
 	}
 	wg.Wait()
 
-	return mergeShards(tr.Len(), opts, shards), nil
+	return mergeShards(tr.Len(), opts, shards, shared, cfg.Stats)
 }
 
 // mergeShards interleaves shard results into serial finalize order and
 // replays them against a global template store, renumbering template and
 // address indices. It shares replayMerge with the distributed pipeline
 // (MergeShardResults), so in-process and cross-machine merges cannot diverge.
-func mergeShards(packets int, opts Options, shards []*shardState) *Archive {
+func mergeShards(packets int, opts Options, shards []*shardState, shared *cluster.SharedStore, stats *ParallelStats) (*Archive, error) {
 	flows := make([][]ShardFlow, len(shards))
 	tpls := make([][]flow.Vector, len(shards))
 	for i, s := range shards {
 		flows[i] = s.flows
 		tpls[i] = storeVectors(s.store)
 	}
-	return replayMerge(int64(packets), opts, flows, tpls)
+	arch, err := replayMerge(int64(packets), opts, flows, tpls, shared, stats)
+	if err == nil && stats != nil {
+		for _, s := range shards {
+			stats.SharedLookups += s.sharedLookups
+			stats.SharedHits += s.sharedHits
+		}
+	}
+	return arch, err
 }

@@ -39,8 +39,16 @@ type ShardResult struct {
 	// Flows are the shard's finalized flows in local finalize order.
 	Flows []ShardFlow
 	// Templates is the shard's exact-duplicate short-vector store in
-	// creation order; short ShardFlows index into it.
+	// creation order; short ShardFlows without the Shared flag index into
+	// it. With a shared store attached this is overflow-only state: vectors
+	// the snapshot could not resolve when the shard saw them.
 	Templates []flow.Vector
+	// SharedGen identifies the cluster.SharedStore the shard consulted
+	// (zero when it ran without one). Flows with the Shared flag carry
+	// global ids from that store's id space, so a merge must be handed the
+	// same store instance; the generation stamp turns a mismatch into an
+	// error instead of silently resolving ids against foreign vectors.
+	SharedGen uint64
 }
 
 // CompressShardSource compresses partition index of count over the full
@@ -50,6 +58,19 @@ type ShardResult struct {
 // partitions with MergeShardResults yields the archive serial Compress
 // would produce.
 func CompressShardSource(src PacketSource, opts Options, index, count int) (*ShardResult, error) {
+	return CompressShardSourceShared(src, opts, index, count, nil)
+}
+
+// CompressShardSourceShared is CompressShardSource with a run-global
+// template store attached: short-flow vectors the store's snapshot resolves
+// are recorded as global ids instead of entering the shard's private
+// template table, so the result ships overflow-only state. Every shard of a
+// run must consult the same store instance, and the merge must be handed it
+// (MergeShardResultsShared) — the result's SharedGen stamp enforces that.
+// The store only lives in one process, so this variant serves in-process
+// distributed runs (dist.CompressDistributed); cross-machine workers use
+// the plain entry point.
+func CompressShardSourceShared(src PacketSource, opts Options, index, count int, shared *cluster.SharedStore) (*ShardResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,7 +80,7 @@ func CompressShardSource(src PacketSource, opts Options, index, count int) (*Sha
 	if index < 0 || index >= count {
 		return nil, fmt.Errorf("core: shard index %d outside [0,%d)", index, count)
 	}
-	sc := newShardCompressor(opts, uint16(index))
+	sc := newShardCompressor(opts, uint16(index), shared)
 	var (
 		gidx   int64
 		lastTS time.Duration
@@ -88,21 +109,36 @@ func CompressShardSource(src PacketSource, opts Options, index, count int) (*Sha
 		}
 	}
 	st := sc.finish()
-	return &ShardResult{
+	r := &ShardResult{
 		Index:     index,
 		Count:     count,
 		Packets:   gidx,
 		Opts:      opts,
 		Flows:     st.flows,
 		Templates: storeVectors(st.store),
-	}, nil
+	}
+	if shared != nil {
+		r.SharedGen = shared.Gen()
+	}
+	return r, nil
 }
 
 // MergeShardResults validates that results form one complete, consistent
 // partition set and replays the deterministic merge over them. Order of the
 // slice does not matter; each result's Index does. The archive is
-// byte-for-byte identical to serial Compress over the same stream.
+// byte-for-byte identical to serial Compress over the same stream. Results
+// that reference a shared template store must go through
+// MergeShardResultsShared instead.
 func MergeShardResults(results []*ShardResult) (*Archive, error) {
+	return MergeShardResultsShared(results, nil)
+}
+
+// MergeShardResultsShared merges results whose shards consulted shared, the
+// run-global template store the Shared-flagged flows' global ids resolve
+// against. A nil store merges plain results exactly like MergeShardResults;
+// results stamped with a different store generation, or shared references
+// with no store at all, are rejected.
+func MergeShardResultsShared(results []*ShardResult, shared *cluster.SharedStore) (*Archive, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("core: merge of zero shard results")
 	}
@@ -137,26 +173,57 @@ func MergeShardResults(results []*ShardResult) (*Archive, error) {
 	}
 	flows := make([][]ShardFlow, count)
 	tpls := make([][]flow.Vector, count)
+	// The store only grows, so its length taken once bounds every id a
+	// shard can legitimately reference (and taking it once keeps the store
+	// mutex out of the per-flow validation loop).
+	sharedLen := 0
+	if shared != nil {
+		sharedLen = shared.Len()
+	}
 	for i, r := range byIndex {
+		if r.SharedGen != 0 {
+			if shared == nil {
+				return nil, fmt.Errorf("core: shard %d was compressed against shared store %016x but the merge has none",
+					i, r.SharedGen)
+			}
+			if r.SharedGen != shared.Gen() {
+				return nil, fmt.Errorf("core: shard %d was compressed against shared store %016x, the merge store is %016x",
+					i, r.SharedGen, shared.Gen())
+			}
+		}
 		// The Shard stamp is positional and must already match the
 		// result's Index — CompressShardSource and the wire decoder both
 		// guarantee it. Validating (rather than silently re-stamping)
 		// keeps the inputs immutable, so concurrent merges over shared
 		// results are safe and hand-built inconsistencies surface.
 		for j := range r.Flows {
-			if r.Flows[j].Shard != uint16(i) {
+			f := &r.Flows[j]
+			if f.Shard != uint16(i) {
 				return nil, fmt.Errorf("core: shard %d flow %d is stamped for shard %d",
-					i, j, r.Flows[j].Shard)
+					i, j, f.Shard)
 			}
-			if !r.Flows[j].Long && int(r.Flows[j].Template) >= len(r.Templates) {
-				return nil, fmt.Errorf("core: shard %d flow %d references template %d of %d",
-					i, j, r.Flows[j].Template, len(r.Templates))
+			switch {
+			case f.Long:
+			case f.Shared:
+				if r.SharedGen == 0 {
+					return nil, fmt.Errorf("core: shard %d flow %d references a shared template but the shard carries no store generation",
+						i, j)
+				}
+				if f.Template < 0 || int(f.Template) >= sharedLen {
+					return nil, fmt.Errorf("core: shard %d flow %d references shared template %d of %d",
+						i, j, f.Template, sharedLen)
+				}
+			default:
+				if f.Template < 0 || int(f.Template) >= len(r.Templates) {
+					return nil, fmt.Errorf("core: shard %d flow %d references template %d of %d",
+						i, j, f.Template, len(r.Templates))
+				}
 			}
 		}
 		flows[i] = r.Flows
 		tpls[i] = r.Templates
 	}
-	return replayMerge(packets, opts, flows, tpls), nil
+	return replayMerge(packets, opts, flows, tpls, shared, nil)
 }
 
 // storeVectors extracts a store's template vectors in creation order.
@@ -175,7 +242,17 @@ func storeVectors(s *cluster.Store) []flow.Vector {
 // tpls. This single implementation backs the in-process merge
 // (CompressParallel, CompressStream) and the distributed one
 // (MergeShardResults).
-func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow.Vector) *Archive {
+//
+// Flows carrying a shared-store global id resolve through shared: the first
+// occurrence of each id in replay order pays the one first-fit Match serial
+// Compress would make there, and every later occurrence reuses that answer
+// (sound because the store's buckets are append-only, so the first-fit
+// result for a fixed vector never changes — the Store.EnableMemo argument).
+// Overflow flows replay exactly as before. Template creation therefore
+// happens at identical points with identical vectors, and the archive stays
+// byte-for-byte identical to serial Compress; only the Match-call count
+// drops, which stats reports.
+func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow.Vector, shared *cluster.SharedStore, stats *ParallelStats) (*Archive, error) {
 	total := 0
 	for _, fs := range flows {
 		total += len(fs)
@@ -200,9 +277,14 @@ func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow
 	})
 
 	store := cluster.NewStoreLimit(opts.limit()).EnableMemo()
+	var resolved []*cluster.Template // shared global id -> merge-store template
+	if shared != nil {
+		resolved = make([]*cluster.Template, shared.Len())
+	}
 	addrIdx := make(map[pkt.IPv4]uint32)
 	var addrs []pkt.IPv4
 	var long []LongTemplate
+	var sharedFlows, overflowFlows int64
 	recs := make([]TimeSeqRecord, 0, total)
 	for _, sf := range merged {
 		rec := TimeSeqRecord{FirstTS: sf.FirstTS}
@@ -213,14 +295,37 @@ func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow
 			addrIdx[sf.Server] = idx
 		}
 		rec.Addr = idx
-		if sf.Long {
+		switch {
+		case sf.Long:
 			rec.Long = true
 			rec.Template = uint32(len(long))
 			long = append(long, LongTemplate{F: sf.LongF, Gaps: sf.Gaps})
-		} else {
+		case sf.Shared:
+			// A nil shared store leaves resolved empty, so dangling
+			// references fail here rather than panicking.
+			if int(sf.Template) >= len(resolved) || sf.Template < 0 {
+				return nil, fmt.Errorf("core: merge flow references shared template %d of %d",
+					sf.Template, len(resolved))
+			}
+			t := resolved[sf.Template]
+			if t == nil {
+				v, ok := shared.Vector(sf.Template)
+				if !ok {
+					return nil, fmt.Errorf("core: shared template %d is not registered", sf.Template)
+				}
+				t, _ = store.Match(v)
+				resolved[sf.Template] = t
+			} else {
+				t.Members++ // keep Members equal to the serial replay's
+			}
+			rec.Template = uint32(t.ID)
+			rec.RTT = sf.RTT
+			sharedFlows++
+		default:
 			t, _ := store.Match(tpls[sf.Shard][sf.Template])
 			rec.Template = uint32(t.ID)
 			rec.RTT = sf.RTT
+			overflowFlows++
 		}
 		recs = append(recs, rec)
 	}
@@ -231,6 +336,18 @@ func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow
 	}
 	slices.SortStableFunc(recs, func(a, b TimeSeqRecord) int { return cmp.Compare(a.FirstTS, b.FirstTS) })
 
+	if stats != nil {
+		st := store.Stats()
+		stats.MergeMatchCalls = st.Matched + st.Created
+		stats.SharedFlows = sharedFlows
+		stats.OverflowFlows = overflowFlows
+		if shared != nil {
+			ss := shared.Stats()
+			stats.SharedTemplates = ss.Templates
+			stats.SharedEpochs = ss.Epochs
+		}
+	}
+
 	return &Archive{
 		ShortTemplates: shorts,
 		LongTemplates:  long,
@@ -239,5 +356,5 @@ func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow
 		Opts:           opts,
 		SourcePackets:  packets,
 		SourceTSHBytes: tsh.Size(int(packets)),
-	}
+	}, nil
 }

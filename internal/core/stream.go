@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flowzip/internal/cluster"
 	"flowzip/internal/flow"
 	"flowzip/internal/pkt"
 )
@@ -56,6 +57,15 @@ type StreamConfig struct {
 	// with the cumulative packet count — roughly once per source batch,
 	// and once more after the final packet.
 	Progress func(packets int64)
+	// SharedTemplates shares one global template snapshot across the shard
+	// workers, exactly as in ParallelConfig: workers consult it before
+	// their private overflow store and the merge replay re-clusters only
+	// overflow flows plus each shared vector's first occurrence. Archive
+	// bytes are identical either way. The streaming pipeline engages it at
+	// any worker count, including 1.
+	SharedTemplates bool
+	// Stats, when non-nil, receives the run's pipeline counters.
+	Stats *ParallelStats
 
 	// residentPeak, when set by tests, records the high-water mark of
 	// packets resident in the shard channels.
@@ -113,6 +123,13 @@ func CompressStreamConfig(src PacketSource, opts Options, cfg StreamConfig) (*Ar
 	for w := range chans {
 		chans[w] = make(chan []idxPacket, chanDepth)
 	}
+	var shared *cluster.SharedStore
+	if cfg.SharedTemplates {
+		shared = cluster.NewSharedStore()
+	}
+	if cfg.Stats != nil {
+		*cfg.Stats = ParallelStats{Workers: workers}
+	}
 	shards := make([]*shardState, workers)
 	var resident atomic.Int64
 	var wg sync.WaitGroup
@@ -120,7 +137,7 @@ func CompressStreamConfig(src PacketSource, opts Options, cfg StreamConfig) (*Ar
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sc := newShardCompressor(opts, uint16(w))
+			sc := newShardCompressor(opts, uint16(w), shared)
 			for ck := range chans[w] {
 				for i := range ck {
 					sc.add(ck[i].idx, &ck[i].p)
@@ -203,5 +220,5 @@ func CompressStreamConfig(src PacketSource, opts Options, cfg StreamConfig) (*Ar
 	if cfg.Progress != nil {
 		cfg.Progress(gidx)
 	}
-	return mergeShards(int(gidx), opts, shards), nil
+	return mergeShards(int(gidx), opts, shards, shared, cfg.Stats)
 }

@@ -30,6 +30,7 @@ import (
 //	             8 bytes LE float64 bits of limitPct;
 //	             uvarint nonDepGap ns, smallPayload, largePayload;
 //	             8 bytes LE seed
+//	    8 bytes LE shared-store generation (0 = compressed without one)
 //	uvarint templates section length, then per template:
 //	    uvarint n, n f-bytes
 //	uvarint flows section length, then per flow:
@@ -37,9 +38,10 @@ import (
 //	    uvarint first timestamp ns
 //	    8 bytes LE 5-tuple hash
 //	    4 bytes BE server IPv4
-//	    flag byte (bit 0: long flow)
-//	    short: uvarint template id, uvarint rtt ns
-//	    long:  uvarint n, n f-bytes, n-1 uvarint gap ns
+//	    flag byte (0: short flow, 1: long flow, 2: shared short flow)
+//	    short:  uvarint template id, uvarint rtt ns
+//	    long:   uvarint n, n f-bytes, n-1 uvarint gap ns
+//	    shared: uvarint shared-store global id, uvarint rtt ns
 //	4 bytes LE CRC-32 (IEEE) of everything above
 //
 // Durations are nanoseconds, not the archive's microseconds: the merge
@@ -47,14 +49,25 @@ import (
 // byte-identical invariant. Every length is prefixed and bounded, and the
 // trailing checksum covers the whole blob, so a truncated or corrupted
 // shard file is always an error, never a panic or a silent partial merge.
+//
+// Shared short flows (version 2) carry global ids into the
+// cluster.SharedStore the shard consulted instead of local template
+// indices, so a shard of a shared-template run ships overflow-only state.
+// The header's generation stamp identifies that store; a merge resolves
+// such blobs only when handed the same store instance
+// (core.MergeShardResultsShared), which confines them to the process that
+// compressed them — cross-machine runs compress without a shared store and
+// write generation 0.
 
 // Magic is the shard-state file signature, distinct from the archive's
 // "FZT1" so `flowzip inspect` can dispatch on the first four bytes.
 const Magic = "FZS1"
 
 // Version is the shard-state wire format version this package reads and
-// writes.
-const Version = 1
+// writes. Version 2 added the shared-store generation header field and the
+// shared short-flow encoding; version 1 blobs are rejected (re-shard, the
+// compression is cheap relative to shipping).
+const Version = 2
 
 // ErrBadShard reports a stream that is not a valid flowzip shard state.
 var ErrBadShard = errors.New("dist: not a flowzip shard state")
@@ -77,6 +90,7 @@ type ShardHeader struct {
 	Flows         int
 	Templates     int
 	Opts          core.Options
+	SharedGen     uint64 // shared-store generation (0 = none)
 }
 
 type uvarintWriter struct {
@@ -168,6 +182,7 @@ func EncodeShardState(w io.Writer, r *core.ShardResult) error {
 	hdr.uvarint(uint64(len(r.Flows)))
 	hdr.uvarint(uint64(len(r.Templates)))
 	hdr.encodeOptions(r.Opts)
+	hdr.u64le(r.SharedGen)
 
 	var tpls uvarintWriter
 	for _, v := range r.Templates {
@@ -198,6 +213,16 @@ func EncodeShardState(w io.Writer, r *core.ShardResult) error {
 			for _, g := range f.Gaps {
 				flows.uvarint(uint64(g))
 			}
+		} else if f.Shared {
+			if r.SharedGen == 0 {
+				return fmt.Errorf("dist: encode flow %d references a shared template but the result carries no store generation", i)
+			}
+			if f.Template < 0 {
+				return fmt.Errorf("dist: encode flow %d has negative shared template id %d", i, f.Template)
+			}
+			flows.buf.WriteByte(2)
+			flows.uvarint(uint64(f.Template))
+			flows.uvarint(uint64(f.RTT))
 		} else {
 			flows.buf.WriteByte(0)
 			if int(f.Template) >= len(r.Templates) {
@@ -377,6 +402,11 @@ func decodeHeader(s *sectionReader) (*ShardHeader, error) {
 		return nil, fmt.Errorf("%w: options fingerprint %016x does not match the decoded options (%016x) — mixed or corrupt header",
 			ErrBadShard, h.Fingerprint, got)
 	}
+	gen, err := s.bytes(8)
+	if err != nil {
+		return nil, err
+	}
+	h.SharedGen = binary.LittleEndian.Uint64(gen)
 	return h, nil
 }
 
@@ -509,6 +539,7 @@ func DecodeShardState(r io.Reader) (*core.ShardResult, error) {
 		Opts:      h.Opts,
 		Flows:     flows,
 		Templates: templates,
+		SharedGen: h.SharedGen,
 	}, nil
 }
 
@@ -574,6 +605,27 @@ func decodeFlow(s *sectionReader, h *ShardHeader) (core.ShardFlow, error) {
 			return f, fmt.Errorf("%w: short flow references template %d of %d", ErrBadShard, tpl, h.Templates)
 		}
 		f.Template = int32(tpl)
+		rtt, err := s.duration()
+		if err != nil {
+			return f, err
+		}
+		f.RTT = rtt
+	case 2:
+		if h.SharedGen == 0 {
+			return f, fmt.Errorf("%w: shared short flow in a blob with no shared-store generation", ErrBadShard)
+		}
+		gid, err := s.uvarint()
+		if err != nil {
+			return f, err
+		}
+		// The store is not available at decode time; bound the id to what
+		// an int32 reference can address and let the merge validate it
+		// against the actual store.
+		if gid > math.MaxInt32 {
+			return f, fmt.Errorf("%w: shared template id %d overflows", ErrBadShard, gid)
+		}
+		f.Shared = true
+		f.Template = int32(gid)
 		rtt, err := s.duration()
 		if err != nil {
 			return f, err

@@ -178,6 +178,7 @@ func craftShardBlob(flowCount, tplCount uint64) []byte {
 	hdr.uvarint(flowCount)
 	hdr.uvarint(tplCount)
 	hdr.encodeOptions(opts)
+	hdr.u64le(0) // no shared store
 	var out uvarintWriter
 	out.buf.WriteString(Magic)
 	out.buf.WriteByte(Version)

@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	"flowzip/internal/cluster"
 	"flowzip/internal/core"
 )
 
@@ -25,6 +26,14 @@ type WorkerConfig struct {
 	// (0 = DefaultResultTimeout): while other workers compress, an idle
 	// worker may legitimately wait a while for a re-queued shard.
 	AssignTimeout time.Duration
+	// Shared, when non-nil, is the run-global template store this worker's
+	// shards consult (core.CompressShardSourceShared): shard state shrinks
+	// to overflow-only vectors plus global ids into the store. The store
+	// lives in one process, so every worker of the run AND the coordinator
+	// that merges it must be handed the same instance — an in-process
+	// deployment (CompressDistributedShared). Leave nil for workers that
+	// dial a coordinator on another machine.
+	Shared *cluster.SharedStore
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -129,7 +138,7 @@ func (w *Worker) compress(a assignment) error {
 		return fmt.Errorf("dist: shard %d source: %w", a.index, err)
 	}
 	defer closeSource(src)
-	r, err := core.CompressShardSource(src, a.opts, a.index, a.count)
+	r, err := core.CompressShardSourceShared(src, a.opts, a.index, a.count, w.cfg.Shared)
 	if err != nil {
 		return err
 	}

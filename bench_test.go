@@ -63,6 +63,7 @@ func sharedTrace() *trace.Trace {
 // BenchmarkFig1FileSize regenerates Figure 1 (file size vs elapsed time,
 // five methods) and reports the final proposed-method megabytes.
 func BenchmarkFig1FileSize(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		fig, err := figures.Fig1(cfg)
@@ -77,6 +78,7 @@ func BenchmarkFig1FileSize(b *testing.B) {
 // BenchmarkRatioTable regenerates the Sections 1/5 ratio table and reports
 // the proposed method's measured ratio.
 func BenchmarkRatioTable(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		t, err := figures.RatioTable(cfg)
@@ -94,6 +96,7 @@ func BenchmarkRatioTable(b *testing.B) {
 // BenchmarkAnalyticTable regenerates the equation 5–8 table and reports the
 // flow-weighted R_vj.
 func BenchmarkAnalyticTable(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		t, err := figures.AnalyticTable(cfg)
@@ -111,6 +114,7 @@ func BenchmarkAnalyticTable(b *testing.B) {
 // BenchmarkFlowLengthTable regenerates the Section 3 statistics and reports
 // the percentage of flows under 51 packets.
 func BenchmarkFlowLengthTable(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		t, err := figures.FlowLengthTable(cfg)
@@ -128,6 +132,7 @@ func BenchmarkFlowLengthTable(b *testing.B) {
 // BenchmarkFig2MemoryAccess runs the four-trace memory study and reports
 // the |decomp-original| mean-access deviation (smaller = better fidelity).
 func BenchmarkFig2MemoryAccess(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Flows = 2000
 	for i := 0; i < b.N; i++ {
@@ -148,6 +153,7 @@ func BenchmarkFig2MemoryAccess(b *testing.B) {
 // BenchmarkFig3CacheMiss runs the same study and reports the original
 // trace's low-miss (<5%) traffic share.
 func BenchmarkFig3CacheMiss(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Flows = 2000
 	for i := 0; i < b.N; i++ {
@@ -167,6 +173,7 @@ func BenchmarkFig3CacheMiss(b *testing.B) {
 // BenchmarkClusterStudy regenerates the Section 2.1 study and reports
 // flows-per-cluster concentration.
 func BenchmarkClusterStudy(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		_, t, err := figures.ClusterStudy(cfg)
@@ -183,6 +190,7 @@ func BenchmarkClusterStudy(b *testing.B) {
 
 // BenchmarkWeightAblation sweeps the characterization weights.
 func BenchmarkWeightAblation(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		if _, err := figures.WeightAblation(cfg); err != nil {
@@ -193,6 +201,7 @@ func BenchmarkWeightAblation(b *testing.B) {
 
 // BenchmarkThresholdAblation sweeps the eq. 4 similarity threshold.
 func BenchmarkThresholdAblation(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		if _, err := figures.ThresholdAblation(cfg); err != nil {
@@ -203,6 +212,7 @@ func BenchmarkThresholdAblation(b *testing.B) {
 
 // BenchmarkCacheAblation sweeps cache geometries.
 func BenchmarkCacheAblation(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Flows = 1500
 	for i := 0; i < b.N; i++ {
@@ -214,8 +224,13 @@ func BenchmarkCacheAblation(b *testing.B) {
 
 // --- Micro-benchmarks ---
 
-// BenchmarkCompress measures codec throughput in packets/op terms.
-func BenchmarkCompress(b *testing.B) {
+// BenchmarkCompressSerial measures serial codec throughput on the Web trace
+// — the baseline every parallel and distributed mode must stay byte-identical
+// to, and therefore the throughput ceiling of the whole stack. CI publishes
+// it (with BenchmarkStoreMatch) as BENCH_core.json so the serial perf
+// trajectory is machine-readable.
+func BenchmarkCompressSerial(b *testing.B) {
+	b.ReportAllocs()
 	tr := sharedTrace()
 	b.SetBytes(int64(tr.Len()) * 44)
 	b.ResetTimer()
@@ -249,9 +264,11 @@ func largeTrace() *trace.Trace {
 // sub-benchmarks read directly as a scaling curve; speedup over serial needs
 // GOMAXPROCS > 1 (on a single-CPU host the sharded path only breaks even).
 func BenchmarkCompressParallel(b *testing.B) {
+	b.ReportAllocs()
 	tr := largeTrace()
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(tr.Len()) * 44)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -272,10 +289,12 @@ func BenchmarkCompressParallel(b *testing.B) {
 // snapshot absorbed. Archives are byte-identical either way; this benchmark
 // measures only the work saved.
 func BenchmarkCompressParallelShared(b *testing.B) {
+	b.ReportAllocs()
 	tr := largeTrace()
 	for _, shared := range []bool{false, true} {
 		for _, workers := range []int{2, 4, 8} {
 			b.Run(fmt.Sprintf("shared=%v/workers=%d", shared, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				b.SetBytes(int64(tr.Len()) * 44)
 				var st flowzip.ParallelStats
 				b.ResetTimer()
@@ -299,9 +318,11 @@ func BenchmarkCompressParallelShared(b *testing.B) {
 // The gap between the two is the streaming overhead (packet copying plus
 // channel traffic).
 func BenchmarkCompressStream(b *testing.B) {
+	b.ReportAllocs()
 	tr := largeTrace()
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(tr.Len()) * 44)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -317,6 +338,7 @@ func BenchmarkCompressStream(b *testing.B) {
 // BenchmarkCompressLarge is the serial baseline over the same large trace as
 // BenchmarkCompressParallel, for direct comparison.
 func BenchmarkCompressLarge(b *testing.B) {
+	b.ReportAllocs()
 	tr := largeTrace()
 	b.SetBytes(int64(tr.Len()) * 44)
 	b.ResetTimer()
@@ -329,6 +351,7 @@ func BenchmarkCompressLarge(b *testing.B) {
 
 // BenchmarkDecompress measures regeneration throughput.
 func BenchmarkDecompress(b *testing.B) {
+	b.ReportAllocs()
 	tr := sharedTrace()
 	arch, err := core.Compress(tr, core.DefaultOptions())
 	if err != nil {
@@ -345,6 +368,7 @@ func BenchmarkDecompress(b *testing.B) {
 
 // BenchmarkArchiveEncode measures container serialization.
 func BenchmarkArchiveEncode(b *testing.B) {
+	b.ReportAllocs()
 	arch, err := core.Compress(sharedTrace(), core.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
@@ -359,6 +383,7 @@ func BenchmarkArchiveEncode(b *testing.B) {
 
 // BenchmarkGZIPBaseline measures the GZIP comparison path.
 func BenchmarkGZIPBaseline(b *testing.B) {
+	b.ReportAllocs()
 	tr := sharedTrace()
 	b.SetBytes(int64(tr.Len()) * 44)
 	b.ResetTimer()
@@ -371,6 +396,7 @@ func BenchmarkGZIPBaseline(b *testing.B) {
 
 // BenchmarkVJEncode measures the RFC 1144-adapted encoder.
 func BenchmarkVJEncode(b *testing.B) {
+	b.ReportAllocs()
 	tr := sharedTrace()
 	vj := baseline.NewVJ()
 	b.SetBytes(int64(tr.Len()) * 44)
@@ -384,6 +410,7 @@ func BenchmarkVJEncode(b *testing.B) {
 
 // BenchmarkPeuhkuriEncode measures the Peuhkuri recoder.
 func BenchmarkPeuhkuriEncode(b *testing.B) {
+	b.ReportAllocs()
 	tr := sharedTrace()
 	pz := baseline.NewPeuhkuri()
 	b.SetBytes(int64(tr.Len()) * 44)
@@ -397,6 +424,7 @@ func BenchmarkPeuhkuriEncode(b *testing.B) {
 
 // BenchmarkRadixLookup measures uninstrumented longest-prefix-match.
 func BenchmarkRadixLookup(b *testing.B) {
+	b.ReportAllocs()
 	rng := stats.NewRNG(1)
 	tree, err := radix.BuildTable(radix.GenerateTable(rng, 100000), nil)
 	if err != nil {
@@ -415,6 +443,7 @@ func BenchmarkRadixLookup(b *testing.B) {
 // BenchmarkRadixLookupInstrumented measures the ATOM-instrumented path with
 // the cache model attached.
 func BenchmarkRadixLookupInstrumented(b *testing.B) {
+	b.ReportAllocs()
 	rng := stats.NewRNG(1)
 	rec := memsim.NewRecorder(memsim.MustCache(memsim.DefaultCacheConfig()))
 	tree, err := radix.BuildTable(radix.GenerateTable(rng, 100000), rec)
@@ -435,6 +464,7 @@ func BenchmarkRadixLookupInstrumented(b *testing.B) {
 
 // BenchmarkCacheAccess measures the cache simulator hot path.
 func BenchmarkCacheAccess(b *testing.B) {
+	b.ReportAllocs()
 	c := memsim.MustCache(memsim.DefaultCacheConfig())
 	rng := stats.NewRNG(2)
 	addrs := make([]uint64, 4096)
@@ -450,6 +480,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 // BenchmarkTemplateMatch measures the cluster-store similarity search over
 // a realistic vector population.
 func BenchmarkTemplateMatch(b *testing.B) {
+	b.ReportAllocs()
 	flows := flow.Assemble(sharedTrace().Packets)
 	vectors := make([]flow.Vector, 0, len(flows))
 	for _, f := range flows {
@@ -467,8 +498,76 @@ func BenchmarkTemplateMatch(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreMatch measures the cluster store's Match path in its three
+// regimes over the Web trace's real short-flow vector population:
+//
+//   - hit: a memoized store resolving vectors it has already seen. This is
+//     the steady state of serial compression and the merge replay, and it
+//     must stay at 0 allocs/op — CI gates on that.
+//   - scan: the pruned first-fit walk with no memo, the cold path.
+//   - miss: every Match creates a template (all-distinct vectors), the
+//     worst case.
+func BenchmarkStoreMatch(b *testing.B) {
+	b.ReportAllocs()
+	flows := flow.Assemble(sharedTrace().Packets)
+	vectors := make([]flow.Vector, 0, len(flows))
+	for _, f := range flows {
+		if f.Len() <= 50 {
+			vectors = append(vectors, f.Vector(flow.DefaultWeights))
+		}
+	}
+	if len(vectors) == 0 {
+		b.Fatal("no vectors")
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		store := cluster.NewStore().EnableMemo()
+		for _, v := range vectors {
+			store.Match(v)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store.Match(vectors[i%len(vectors)])
+		}
+	})
+
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		store := cluster.NewStore()
+		for _, v := range vectors {
+			store.Match(v)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store.Match(vectors[i%len(vectors)])
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		store := cluster.NewStore()
+		// Distinct 5-byte vectors pairwise >= 5 apart (base-50 digits of i,
+		// each scaled by 5), so with d_lim(5) = 5 and the strict < rule
+		// every Match scans its whole bucket and then creates. The digit
+		// space holds 50^5 ≈ 312M distinct vectors, far beyond any
+		// reachable b.N, so the all-miss property cannot wrap away.
+		v := make(flow.Vector, 5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := i
+			for j := range v {
+				v[j] = uint8(n % 50 * 5)
+				n /= 50
+			}
+			store.Match(v)
+		}
+	})
+}
+
 // BenchmarkWebGeneration measures the synthetic trace generator.
 func BenchmarkWebGeneration(b *testing.B) {
+	b.ReportAllocs()
 	cfg := flowzip.DefaultWebConfig()
 	cfg.Flows = 1000
 	cfg.Duration = 5 * time.Second
@@ -485,6 +584,7 @@ func BenchmarkWebGeneration(b *testing.B) {
 // BenchmarkRouteKernel measures the full per-packet measurement path
 // (checkpoint + instrumented lookup + cache).
 func BenchmarkRouteKernel(b *testing.B) {
+	b.ReportAllocs()
 	tr := sharedTrace()
 	routes := netbench.CoveringTable(tr, 5, 10000, 1)
 	rec := memsim.NewRecorder(memsim.MustCache(memsim.DefaultCacheConfig()))

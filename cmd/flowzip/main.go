@@ -5,6 +5,7 @@
 //
 //	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2] [-workers 8] [-shared-templates]
 //	flowzip compress  -i big.pcap -o big.fz -stream [-maxresident N] [-progress]
+//	flowzip compress  -i web.tsh -o web.fz [-cpuprofile cpu.out] [-memprofile mem.out]
 //	flowzip decompress -i web.fz -o back.tsh
 //	flowzip inspect   -i web.fz            (also reads .fzshard shard files)
 //	flowzip compare   -i web.tsh
@@ -292,6 +293,8 @@ func runCompress(args []string) {
 	stream := fs.Bool("stream", false, "stream the input in bounded memory (requires timestamp-sorted input)")
 	maxResident := cli.MaxResidentFlag(fs)
 	progress := fs.Bool("progress", false, "streaming: report packet progress on stderr")
+	cpuProfile := cli.CPUProfileFlag(fs, "compression")
+	memProfile := cli.MemProfileFlag(fs, "compression")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("compress: -i required")
@@ -300,6 +303,10 @@ func runCompress(args []string) {
 		log.Fatal("compress: ", err)
 	}
 	if err := cli.ValidateMaxResident(*maxResident); err != nil {
+		log.Fatal("compress: ", err)
+	}
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		log.Fatal("compress: ", err)
 	}
 
@@ -343,6 +350,10 @@ func runCompress(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	// Profiles cover the compression itself, not the archive write.
+	if err := stopProfiles(); err != nil {
+		log.Fatal("compress: ", err)
 	}
 	writeArchive(*out, arch)
 }

@@ -8,6 +8,9 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"flowzip/internal/core"
 	"flowzip/internal/flow"
@@ -86,6 +89,81 @@ const sharedTemplatesTemplate = "share one global template snapshot across %s (w
 // SharedTemplatesFlag registers the canonical -shared-templates flag on fs.
 func SharedTemplatesFlag(fs *flag.FlagSet, purpose string) *bool {
 	return fs.Bool("shared-templates", false, fmt.Sprintf(sharedTemplatesTemplate, purpose))
+}
+
+// Profile flag templates: the single source of the -cpuprofile/-memprofile
+// help text, so every command documents the pprof flags identically.
+const (
+	cpuProfileTemplate = "write a pprof CPU profile of the %s to this file"
+	memProfileTemplate = "write a pprof heap profile (taken after the %s) to this file"
+)
+
+// CPUProfileFlag registers the canonical -cpuprofile flag on fs.
+func CPUProfileFlag(fs *flag.FlagSet, purpose string) *string {
+	return fs.String("cpuprofile", "", fmt.Sprintf(cpuProfileTemplate, purpose))
+}
+
+// MemProfileFlag registers the canonical -memprofile flag on fs.
+func MemProfileFlag(fs *flag.FlagSet, purpose string) *string {
+	return fs.String("memprofile", "", fmt.Sprintf(memProfileTemplate, purpose))
+}
+
+// StartProfiles validates the profile destinations and starts CPU profiling.
+// Empty paths disable the corresponding profile. Errors carry the flag name,
+// like the other validators, so every command reports them identically. The
+// returned stop function finishes the CPU profile and writes the heap
+// profile; it must be called once, after the profiled work.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	if memPath != "" {
+		// Fail before the work runs, not after: the heap profile is written
+		// at stop time, but its destination must be creatable now. Open
+		// without truncating, so a run that later dies before stop does not
+		// destroy a previous run's profile.
+		f, err := os.OpenFile(memPath, os.O_WRONLY|os.O_CREATE, 0o666)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+		f.Close()
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			runtime.GC() // materialize final live-set statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // maxResidentTemplate is the single source of the -maxresident help text

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -122,5 +124,97 @@ func TestShardsFlags(t *testing.T) {
 	}
 	if err := ValidateShardIndex(3, 4); err != nil {
 		t.Errorf("shard index 3/4 rejected: %v", err)
+	}
+}
+
+// TestProfileFlags pins the pprof flag templates: canonical names, empty
+// defaults, and help text naming the profiled phase.
+func TestProfileFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	CPUProfileFlag(fs, "compression")
+	MemProfileFlag(fs, "compression")
+	for _, name := range []string{"cpuprofile", "memprofile"} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("-%s not registered", name)
+		}
+		if f.DefValue != "" {
+			t.Errorf("-%s default %q, want empty (disabled)", name, f.DefValue)
+		}
+		if !strings.Contains(f.Usage, "pprof") || !strings.Contains(f.Usage, "compression") {
+			t.Errorf("-%s usage %q must mention pprof and the profiled phase", name, f.Usage)
+		}
+	}
+}
+
+// TestStartProfilesWritesBoth runs a profiled section and checks both files
+// come out non-empty (pprof output is gzipped protobuf; non-emptiness is the
+// portable assertion).
+func TestStartProfilesWritesBoth(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartProfilesDisabled: empty paths are a no-op that still returns a
+// callable stop.
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartProfilesRejectsBadPaths: unwritable destinations fail up front —
+// before the profiled work — with errors naming the flag, for both profiles.
+func TestStartProfilesRejectsBadPaths(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := StartProfiles(filepath.Join(dir, "missing", "cpu.out"), ""); err == nil {
+		t.Error("bad -cpuprofile path accepted")
+	} else if !strings.Contains(err.Error(), "-cpuprofile") {
+		t.Errorf("error %q does not name -cpuprofile", err)
+	}
+	if _, err := StartProfiles("", filepath.Join(dir, "missing", "mem.out")); err == nil {
+		t.Error("bad -memprofile path accepted")
+	} else if !strings.Contains(err.Error(), "-memprofile") {
+		t.Errorf("error %q does not name -memprofile", err)
+	}
+	// A bad -memprofile must also unwind an already-started CPU profile so
+	// the caller can retry; starting again proves it was stopped.
+	cpu := filepath.Join(dir, "cpu.out")
+	if _, err := StartProfiles(cpu, filepath.Join(dir, "missing", "mem.out")); err == nil {
+		t.Fatal("bad -memprofile path accepted alongside a good -cpuprofile")
+	}
+	stop, err := StartProfiles(cpu, "")
+	if err != nil {
+		t.Fatalf("CPU profiling was not unwound after -memprofile failure: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -74,11 +74,22 @@ func Agglomerative(vectors []flow.Vector, stop int) *AgglomerativeResult {
 		return x
 	}
 
+	// Candidate generation reuses the store's pruning idea: precomputed
+	// element sums reject most pairs in O(1) (|sum_i - sum_j| lower-bounds
+	// the L1 distance), and the early-exit distance kernel abandons the
+	// rest as soon as they provably reach stop. Exactly the pairs with
+	// d < stop survive, so the clustering is unchanged.
+	sums := make([]int, n)
+	for i, v := range vectors {
+		sums[i] = flow.Sum(v)
+	}
 	h := &pairHeap{}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := flow.Distance(vectors[i], vectors[j])
-			if d < stop {
+			if ds := sums[i] - sums[j]; ds >= stop || -ds >= stop {
+				continue
+			}
+			if d, ok := flow.DistanceUnder(vectors[i], vectors[j], stop); ok {
 				*h = append(*h, pairItem{dist: d, a: i, b: j})
 			}
 		}

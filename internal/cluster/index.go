@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bytes"
+
+	"flowzip/internal/flow"
+)
+
+// This file holds the two building blocks of the store's pruned,
+// allocation-free match path:
+//
+//   - vecIndex, an exact-vector hash index (hash-of-bytes two-level map with
+//     full-vector verification) that never builds string keys, so probing it
+//     allocates nothing. Store's memo and SharedStore's snapshots both use
+//     it.
+//   - signature/sigDist, a packed coarse summary of a vector whose distance
+//     lower-bounds the L1 metric, so a match candidate can be rejected in
+//     O(1) before its elements are ever touched.
+
+// hashVec is FNV-1a over the vector bytes. Vector lengths are not mixed in
+// separately: two vectors of different length virtually never collide, and
+// every probe verifies the full vector anyway.
+func hashVec(v flow.Vector) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range v {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// vecEntry is one interned vector and the id registered for it.
+type vecEntry struct {
+	vec flow.Vector
+	id  int32
+}
+
+// vecIndex maps exact vectors to int32 ids. Lookups hash the vector in place
+// and verify candidates byte-for-byte, so they are allocation-free — unlike a
+// map[string]T store whose writes must materialize string keys. The zero
+// value is a valid empty read-only index; call init (via newVecIndex) before
+// writing.
+type vecIndex struct {
+	m map[uint64][]vecEntry
+}
+
+// newVecIndex returns a writable index sized for about hint vectors.
+func newVecIndex(hint int) vecIndex {
+	return vecIndex{m: make(map[uint64][]vecEntry, hint)}
+}
+
+// get resolves v to its registered id. Probing a zero-value index is safe
+// and always misses.
+func (x vecIndex) get(v flow.Vector) (int32, bool) {
+	for _, e := range x.m[hashVec(v)] {
+		if bytes.Equal(e.vec, v) {
+			return e.id, true
+		}
+	}
+	return 0, false
+}
+
+// put registers id for v, overwriting any previous registration. The caller
+// must own v: the index retains the slice, so hot paths pass either a fresh
+// copy or an already-interned vector (e.g. a template's stored copy).
+func (x vecIndex) put(v flow.Vector, id int32) {
+	h := hashVec(v)
+	entries := x.m[h]
+	for i := range entries {
+		if bytes.Equal(entries[i].vec, v) {
+			entries[i].id = id
+			return
+		}
+	}
+	x.m[h] = append(entries, vecEntry{vec: v, id: id})
+}
+
+// enabled reports whether the index is writable (initialized).
+func (x vecIndex) enabled() bool { return x.m != nil }
+
+// pruneKeys computes both prune keys of the store's candidate walk — the
+// element sum and the packed signature — in one pass over the vector (the
+// signature's unclamped segment sums total exactly the element sum, so a
+// second walk would be pure waste on the per-flow hot path).
+func pruneKeys(v flow.Vector) (sum int, sig uint64) {
+	n := len(v)
+	if n == 0 {
+		return 0, 0
+	}
+	for s := 0; s < 8; s++ {
+		seg := 0
+		for _, x := range v[s*n/8 : (s+1)*n/8] {
+			seg += int(x)
+		}
+		sum += seg
+		if seg > 255 {
+			seg = 255
+		}
+		sig |= uint64(seg) << (8 * s)
+	}
+	return sum, sig
+}
+
+// signature packs a coarse shape summary of v into eight bytes: the vector
+// is cut into eight contiguous segments and each byte holds that segment's
+// element sum, clamped to 255. Clamping is 1-Lipschitz and a segment's
+// summed |difference| never exceeds its L1 contribution, so
+//
+//	sigDist(signature(a), signature(b)) <= Distance(a, b)
+//
+// for any same-length a, b — a candidate whose signature distance already
+// reaches the limit can be rejected without touching its elements.
+func signature(v flow.Vector) uint64 {
+	_, sig := pruneKeys(v)
+	return sig
+}
+
+// sigDist is the L1 distance between two packed signatures — a lower bound
+// on the vectors' distance (see signature).
+func sigDist(a, b uint64) int {
+	if a == b {
+		return 0
+	}
+	d := 0
+	for i := 0; i < 8; i++ {
+		x, y := int(a&0xff), int(b&0xff)
+		if x > y {
+			d += x - y
+		} else {
+			d += y - x
+		}
+		a >>= 8
+		b >>= 8
+	}
+	return d
+}

@@ -40,15 +40,18 @@ type SharedStore struct {
 	snap     atomic.Pointer[sharedEpoch]
 
 	mu     sync.Mutex
-	vecs   []flow.Vector    // every interned vector, by global id; append-only
-	staged map[string]int32 // interned since the last publish
+	vecs   []flow.Vector // every interned vector, by global id; append-only
+	all    vecIndex      // every interned vector -> global id (Propose dedup)
+	staged int           // vectors interned since the last publish
 	epochs int
 }
 
-// sharedEpoch is one immutable published snapshot.
+// sharedEpoch is one immutable published snapshot. The index is a vecIndex
+// rather than a string-keyed map so Lookup probes and snapshot rebuilds
+// never materialize string keys.
 type sharedEpoch struct {
-	ids  map[string]int32 // vector bytes -> global id
-	vecs []flow.Vector    // prefix of the store's global table
+	idx  vecIndex      // vector bytes -> global id
+	vecs []flow.Vector // prefix of the store's global table
 }
 
 // DefaultEpochStage is the number of staged vectors that triggers a
@@ -74,8 +77,8 @@ func NewSharedStoreEpoch(minStage int) *SharedStore {
 	for gen == 0 {
 		gen = rand.Uint64()
 	}
-	s := &SharedStore{gen: gen, minStage: minStage, staged: make(map[string]int32)}
-	s.snap.Store(&sharedEpoch{ids: map[string]int32{}})
+	s := &SharedStore{gen: gen, minStage: minStage, all: newVecIndex(0)}
+	s.snap.Store(&sharedEpoch{})
 	return s
 }
 
@@ -90,8 +93,7 @@ func (s *SharedStore) Gen() uint64 { return s.gen }
 // workers never contend; callers wanting hit statistics count in their own
 // single-threaded state (as the shard workers do).
 func (s *SharedStore) Lookup(v flow.Vector) (gid int32, ok bool) {
-	gid, ok = s.snap.Load().ids[string(v)]
-	return gid, ok
+	return s.snap.Load().idx.get(v)
 }
 
 // Propose stages v for publication in a future epoch. Duplicates of already
@@ -100,21 +102,18 @@ func (s *SharedStore) Lookup(v flow.Vector) (gid int32, ok bool) {
 func (s *SharedStore) Propose(v flow.Vector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ep := s.snap.Load()
-	if _, ok := ep.ids[string(v)]; ok {
-		return
-	}
-	if _, ok := s.staged[string(v)]; ok {
-		return
+	if _, ok := s.all.get(v); ok {
+		return // already published or staged
 	}
 	if len(s.vecs) >= maxSharedTemplates {
 		return // id space exhausted; further vectors stay shard-private
 	}
 	cp := append(flow.Vector(nil), v...)
-	s.staged[string(cp)] = int32(len(s.vecs))
+	s.all.put(cp, int32(len(s.vecs)))
 	s.vecs = append(s.vecs, cp)
-	if len(s.staged) >= s.stageLimitLocked(len(ep.ids)) {
-		s.publishLocked(ep)
+	s.staged++
+	if s.staged >= s.stageLimitLocked(len(s.snap.Load().vecs)) {
+		s.publishLocked()
 	}
 }
 
@@ -132,24 +131,26 @@ func (s *SharedStore) stageLimitLocked(published int) int {
 func (s *SharedStore) FlushEpoch() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.staged) > 0 {
-		s.publishLocked(s.snap.Load())
+	if s.staged > 0 {
+		s.publishLocked()
 	}
 }
 
-func (s *SharedStore) publishLocked(ep *sharedEpoch) {
-	ids := make(map[string]int32, len(ep.ids)+len(s.staged))
-	for k, id := range ep.ids {
-		ids[k] = id
-	}
-	for k, id := range s.staged {
-		ids[k] = id
+func (s *SharedStore) publishLocked() {
+	// Rebuild the snapshot index from the global table rather than cloning
+	// the previous epoch's: the cost is the same O(published) either way,
+	// and a fresh index shares no bucket slices with the epoch concurrent
+	// readers still hold. The geometric publish trigger keeps the total
+	// rebuild cost linear in the number of distinct vectors.
+	idx := newVecIndex(len(s.vecs))
+	for id, v := range s.vecs {
+		idx.put(v, int32(id))
 	}
 	// Freeze the vector table at its current length. Later appends may grow
 	// the backing array in place, but elements below len are never written
 	// again, so the published prefix is immutable.
-	s.snap.Store(&sharedEpoch{ids: ids, vecs: s.vecs[:len(s.vecs):len(s.vecs)]})
-	s.staged = make(map[string]int32)
+	s.snap.Store(&sharedEpoch{idx: idx, vecs: s.vecs[:len(s.vecs):len(s.vecs)]})
+	s.staged = 0
 	s.epochs++
 }
 

@@ -18,14 +18,32 @@ type Template struct {
 // queries under the paper's L1 similarity with threshold d_lim(n).
 //
 // The paper's method only compares flows with identical packet counts, so
-// each length has an independent bucket.
+// each length has an independent bucket. Within a bucket, candidates are
+// still visited in insertion order — first-fit semantics are what keep every
+// pipeline byte-identical — but each candidate is first screened against two
+// precomputed O(1) lower bounds on the L1 distance (the element sum and a
+// packed coarse signature, see index.go), and the full distance computation
+// aborts as soon as its partial sum reaches the limit (flow.DistanceWithin).
+// Neither prune can reject a true match: both bounds never exceed the real
+// distance, so exactly the first template the naive linear scan would accept
+// is accepted here.
 type Store struct {
-	byLen     map[int][]*Template
+	byLen     map[int]*bucket
 	templates []*Template
 	limit     func(n int) int
-	memo      map[string]*Template // exact-vector Match cache, nil unless enabled
+	memo      vecIndex // exact-vector Match cache, zero-value unless enabled
 	matches   int64
 	misses    int64
+}
+
+// bucket holds one length class: templates in insertion order with their
+// precomputed element sums and coarse signatures in parallel slices, so the
+// pruning walk stays cache-friendly and never touches a rejected template's
+// vector.
+type bucket struct {
+	tpls []*Template
+	sums []int32
+	sigs []uint64
 }
 
 // NewStore builds a store using the paper's threshold d_lim(n) = n.
@@ -36,12 +54,13 @@ func NewStore() *Store { return NewStoreLimit(flow.DistanceLimit) }
 // the L1 distance for a match ("difference ... lower than 2% of the maximum
 // inter flow distance").
 func NewStoreLimit(limit func(n int) int) *Store {
-	return &Store{byLen: make(map[int][]*Template), limit: limit}
+	return &Store{byLen: make(map[int]*bucket), limit: limit}
 }
 
 // EnableMemo turns on the exact-duplicate match cache and returns the store.
 // Match then resolves a vector identical to one it has already seen with one
-// map lookup instead of a linear bucket scan.
+// hash probe instead of a bucket scan, allocating nothing on a hit (the
+// cache is a vecIndex, not a string-keyed map, so no key is ever built).
 //
 // The cache is exact: buckets are append-only and the limit function is fixed
 // per store, so the first template within the limit of a given vector — the
@@ -51,32 +70,65 @@ func NewStoreLimit(limit func(n int) int) *Store {
 // compressor's merge step relies on this to re-cluster shard results without
 // re-paying the full search per flow.
 func (s *Store) EnableMemo() *Store {
-	if s.memo == nil {
-		s.memo = make(map[string]*Template)
+	if !s.memo.enabled() {
+		s.memo = newVecIndex(0)
 	}
 	return s
 }
 
-// Find returns the first template within the distance limit of v, or nil.
-func (s *Store) Find(v flow.Vector) *Template {
-	lim := s.limit(len(v))
-	for _, t := range s.byLen[len(v)] {
-		if flow.Distance(t.Vector, v) < lim {
+// find is the pruned first-fit walk shared by Find, Match and Insert: it
+// returns the first template of v's bucket within lim, visiting candidates
+// in insertion order and rejecting them via the sum and signature lower
+// bounds before paying for an (early-exit) distance computation.
+func (s *Store) find(v flow.Vector, lim, vsum int, vsig uint64) *Template {
+	if lim <= 0 {
+		return nil // distances are >= 0, so a non-positive limit admits nothing
+	}
+	b := s.byLen[len(v)]
+	if b == nil {
+		return nil
+	}
+	for i, t := range b.tpls {
+		if ds := vsum - int(b.sums[i]); ds >= lim || -ds >= lim {
+			continue
+		}
+		if sigDist(vsig, b.sigs[i]) >= lim {
+			continue
+		}
+		if flow.DistanceWithin(t.Vector, v, lim) {
 			return t
 		}
 	}
 	return nil
 }
 
+// Find returns the first template within the distance limit of v, or nil.
+func (s *Store) Find(v flow.Vector) *Template {
+	vsum, vsig := pruneKeys(v)
+	return s.find(v, s.limit(len(v)), vsum, vsig)
+}
+
 // FindNearest returns the closest template of the same length regardless of
-// the limit, with its distance (nil, -1 when the bucket is empty).
+// the limit, with its distance (nil, -1 when the bucket is empty). Ties keep
+// the earliest-created template, exactly like the naive scan; the pruning
+// bounds only skip candidates that provably cannot beat the current best.
 func (s *Store) FindNearest(v flow.Vector) (*Template, int) {
-	var best *Template
-	bestD := -1
-	for _, t := range s.byLen[len(v)] {
-		d := flow.Distance(t.Vector, v)
-		if best == nil || d < bestD {
-			best, bestD = t, d
+	b := s.byLen[len(v)]
+	if b == nil || len(b.tpls) == 0 {
+		return nil, -1
+	}
+	vsum, vsig := pruneKeys(v)
+	best := b.tpls[0]
+	bestD := flow.Distance(best.Vector, v)
+	for i := 1; i < len(b.tpls) && bestD > 0; i++ {
+		if ds := vsum - int(b.sums[i]); ds >= bestD || -ds >= bestD {
+			continue
+		}
+		if sigDist(vsig, b.sigs[i]) >= bestD {
+			continue
+		}
+		if d, ok := flow.DistanceUnder(b.tpls[i].Vector, v, bestD); ok {
+			best, bestD = b.tpls[i], d
 		}
 	}
 	return best, bestD
@@ -86,32 +138,52 @@ func (s *Store) FindNearest(v flow.Vector) (*Template, int) {
 // matching template and created=false, or installs v as a new cluster center
 // and returns it with created=true.
 func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
-	if s.memo != nil {
+	lim := s.limit(len(v))
+	if s.memo.enabled() {
 		// The distance recheck keeps a zero limit honest: a cached template
 		// created from an identical vector is at distance 0, which only
 		// counts as a match when the limit admits it.
-		if t, ok := s.memo[string(v)]; ok && flow.Distance(t.Vector, v) < s.limit(len(v)) {
+		if id, ok := s.memo.get(v); ok && flow.DistanceWithin(s.templates[id].Vector, v, lim) {
+			t := s.templates[id]
 			t.Members++
 			s.matches++
 			return t, false
 		}
 	}
-	if t := s.Find(v); t != nil {
+	vsum, vsig := pruneKeys(v)
+	if t := s.find(v, lim, vsum, vsig); t != nil {
 		t.Members++
 		s.matches++
-		if s.memo != nil {
-			s.memo[string(v)] = t
+		if s.memo.enabled() {
+			// The caller may reuse v's backing (the compressor's scratch
+			// vector), so the memo interns its own copy. This is the one
+			// allocation left on the Match path, paid once per distinct
+			// non-template vector.
+			s.memo.put(append(flow.Vector(nil), v...), int32(t.ID))
 		}
 		return t, false
 	}
-	t = &Template{ID: len(s.templates), Vector: append(flow.Vector(nil), v...), Members: 1}
-	s.templates = append(s.templates, t)
-	s.byLen[len(v)] = append(s.byLen[len(v)], t)
-	if s.memo != nil {
-		s.memo[string(v)] = t
+	t = s.create(v, vsum, vsig)
+	if s.memo.enabled() {
+		s.memo.put(t.Vector, int32(t.ID)) // the template's copy, no new alloc
 	}
 	s.misses++
 	return t, true
+}
+
+// create installs v (copied) as a new template with precomputed prune keys.
+func (s *Store) create(v flow.Vector, vsum int, vsig uint64) *Template {
+	t := &Template{ID: len(s.templates), Vector: append(flow.Vector(nil), v...), Members: 1}
+	s.templates = append(s.templates, t)
+	b := s.byLen[len(v)]
+	if b == nil {
+		b = &bucket{}
+		s.byLen[len(v)] = b
+	}
+	b.tpls = append(b.tpls, t)
+	b.sums = append(b.sums, int32(vsum))
+	b.sigs = append(b.sigs, vsig)
+	return t
 }
 
 // Insert installs v as a new template unconditionally (the long-flow path:
@@ -119,31 +191,30 @@ func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
 // counts toward misses, so HitRate and Stats reflect Insert traffic too and
 // Stats().Created always equals the number of templates created.
 func (s *Store) Insert(v flow.Vector) *Template {
+	vsum, vsig := pruneKeys(v)
 	// Memo maintenance must preserve the invariant that a cached entry is
 	// the linear scan's first-fit answer. An existing entry stays correct
 	// (buckets are append-only, so a prior first fit never changes); for an
 	// absent key the true answer is either an earlier template already
 	// within the limit of v, or — only when no such template exists — the
-	// template this Insert creates. One Find resolves which.
-	var memoTpl *Template
+	// template this Insert creates. One find resolves which.
+	var memoID int32 = -1
 	registerNew := false
-	if s.memo != nil {
-		if _, ok := s.memo[string(v)]; !ok {
-			if prior := s.Find(v); prior != nil {
-				memoTpl = prior
+	if s.memo.enabled() {
+		if _, ok := s.memo.get(v); !ok {
+			if prior := s.find(v, s.limit(len(v)), vsum, vsig); prior != nil {
+				memoID = int32(prior.ID)
 			} else {
 				registerNew = true
 			}
 		}
 	}
-	t := &Template{ID: len(s.templates), Vector: append(flow.Vector(nil), v...), Members: 1}
-	s.templates = append(s.templates, t)
-	s.byLen[len(v)] = append(s.byLen[len(v)], t)
+	t := s.create(v, vsum, vsig)
 	if registerNew {
-		memoTpl = t
+		memoID = int32(t.ID)
 	}
-	if memoTpl != nil {
-		s.memo[string(t.Vector)] = memoTpl
+	if memoID >= 0 {
+		s.memo.put(t.Vector, memoID)
 	}
 	s.misses++
 	return t

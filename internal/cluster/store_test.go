@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -328,5 +329,222 @@ func TestMemoExactStore(t *testing.T) {
 	}
 	if _, created := s.Match(b); !created {
 		t.Fatal("near-but-distinct vector must create its own template")
+	}
+}
+
+// --- Indexed-vs-naive equivalence (the pruned match path must be
+// observationally identical to a plain linear first-fit scan) ---
+
+// naiveStore is an independent reference implementation of the store's
+// semantics: per-length buckets scanned linearly in insertion order with the
+// full Distance, no pruning, no memo. The property tests pin the production
+// store against it.
+type naiveStore struct {
+	byLen map[int][]flow.Vector // template vectors per length, insertion order
+	ids   map[int][]int         // parallel template ids
+	limit func(int) int
+	next  int
+}
+
+func newNaiveStore(limit func(int) int) *naiveStore {
+	return &naiveStore{byLen: map[int][]flow.Vector{}, ids: map[int][]int{}, limit: limit}
+}
+
+func (n *naiveStore) find(v flow.Vector) int {
+	lim := n.limit(len(v))
+	for i, t := range n.byLen[len(v)] {
+		if flow.Distance(t, v) < lim {
+			return n.ids[len(v)][i]
+		}
+	}
+	return -1
+}
+
+func (n *naiveStore) findNearest(v flow.Vector) (int, int) {
+	bestID, bestD := -1, -1
+	for i, t := range n.byLen[len(v)] {
+		d := flow.Distance(t, v)
+		if bestID < 0 || d < bestD {
+			bestID, bestD = n.ids[len(v)][i], d
+		}
+	}
+	return bestID, bestD
+}
+
+func (n *naiveStore) match(v flow.Vector) (int, bool) {
+	if id := n.find(v); id >= 0 {
+		return id, false
+	}
+	id := n.next
+	n.next++
+	n.byLen[len(v)] = append(n.byLen[len(v)], append(flow.Vector(nil), v...))
+	n.ids[len(v)] = append(n.ids[len(v)], id)
+	return id, true
+}
+
+// adversarialVectors builds a population designed to defeat the O(1) prunes:
+// permutations of one base (identical sums, often identical signatures),
+// segment-local swaps (identical signatures by construction), and vectors
+// with tiny element tweaks around the match limit.
+func adversarialVectors(seed uint64, count, length int) []flow.Vector {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	base := make(flow.Vector, length)
+	for i := range base {
+		base[i] = uint8(20 + rng.UintN(60))
+	}
+	out := make([]flow.Vector, 0, count)
+	for len(out) < count {
+		v := append(flow.Vector(nil), base...)
+		switch rng.UintN(3) {
+		case 0: // global permutation: same sum, same element multiset
+			rng.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+		case 1: // swap within one signature segment: identical signature
+			if length >= 2 {
+				seg := int(rng.UintN(8))
+				lo, hi := seg*length/8, (seg+1)*length/8
+				if hi-lo >= 2 {
+					i := lo + int(rng.UintN(uint(hi-lo)))
+					j := lo + int(rng.UintN(uint(hi-lo)))
+					v[i], v[j] = v[j], v[i]
+				}
+			}
+		case 2: // near-limit tweaks
+			for k := 0; k < int(rng.UintN(4)); k++ {
+				v[rng.UintN(uint(length))] += uint8(rng.UintN(3))
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestIndexedMatchesNaiveAdversarial drives Match, Find and FindNearest over
+// the adversarial populations with both the default and the exact limit, with
+// and without the memo, asserting every observable agrees with the naive
+// linear scan.
+func TestIndexedMatchesNaiveAdversarial(t *testing.T) {
+	limits := map[string]func(int) int{
+		"paper": flow.DistanceLimit,
+		"exact": func(int) int { return 1 },
+		"zero":  func(int) int { return 0 },
+	}
+	for name, lim := range limits {
+		for _, memo := range []bool{false, true} {
+			for _, length := range []int{1, 2, 5, 8, 16, 33} {
+				ref := newNaiveStore(lim)
+				s := NewStoreLimit(lim)
+				if memo {
+					s.EnableMemo()
+				}
+				for i, v := range adversarialVectors(uint64(length), 400, length) {
+					// Find must agree before the vector is interned...
+					wantID := ref.find(v)
+					got := s.Find(v)
+					if (got == nil) != (wantID < 0) || (got != nil && got.ID != wantID) {
+						t.Fatalf("%s memo=%v len=%d vec %d: Find disagrees with naive scan", name, memo, length, i)
+					}
+					wantNearID, wantNearD := ref.findNearest(v)
+					gotNear, gotD := s.FindNearest(v)
+					if (gotNear == nil) != (wantNearID < 0) || gotD != wantNearD ||
+						(gotNear != nil && gotNear.ID != wantNearID) {
+						t.Fatalf("%s memo=%v len=%d vec %d: FindNearest = (%v,%d), naive (%d,%d)",
+							name, memo, length, i, gotNear, gotD, wantNearID, wantNearD)
+					}
+					// ...and Match must make the identical first-fit decision.
+					wantMatchID, wantCreated := ref.match(v)
+					tpl, created := s.Match(v)
+					if tpl.ID != wantMatchID || created != wantCreated {
+						t.Fatalf("%s memo=%v len=%d vec %d: Match = (%d,%v), naive (%d,%v)",
+							name, memo, length, i, tpl.ID, created, wantMatchID, wantCreated)
+					}
+				}
+				if s.Len() != ref.next {
+					t.Fatalf("%s memo=%v len=%d: %d templates, naive %d", name, memo, length, s.Len(), ref.next)
+				}
+			}
+		}
+	}
+}
+
+// Property: for arbitrary fuzzed vector streams the indexed store and the
+// naive scan agree on every Match, Find and FindNearest observable.
+func TestQuickIndexedMatchesNaive(t *testing.T) {
+	f := func(raw [][5]uint8, dup []uint8) bool {
+		var seq []flow.Vector
+		for i, r := range raw {
+			seq = append(seq, flow.Vector(r[:]))
+			if len(dup) > 0 {
+				seq = append(seq, flow.Vector(raw[int(dup[i%len(dup)])%len(raw)][:]))
+			}
+		}
+		ref := newNaiveStore(flow.DistanceLimit)
+		s := NewStore().EnableMemo()
+		for _, v := range seq {
+			wantFindID := ref.find(v)
+			gotFind := s.Find(v)
+			if (gotFind == nil) != (wantFindID < 0) || (gotFind != nil && gotFind.ID != wantFindID) {
+				return false
+			}
+			wantNearID, wantNearD := ref.findNearest(v)
+			gotNear, gotD := s.FindNearest(v)
+			if gotD != wantNearD || (gotNear == nil) != (wantNearID < 0) {
+				return false
+			}
+			if gotNear != nil && gotNear.ID != wantNearID {
+				return false
+			}
+			wantID, wantCreated := ref.match(v)
+			tpl, created := s.Match(v)
+			if tpl.ID != wantID || created != wantCreated {
+				return false
+			}
+		}
+		return s.Len() == ref.next
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the packed signature really lower-bounds the L1 distance — the
+// soundness condition that lets the store reject candidates without touching
+// their vectors.
+func TestQuickSignatureLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 5000; i++ {
+		n := int(rng.UintN(64))
+		a, b := make(flow.Vector, n), make(flow.Vector, n)
+		for j := 0; j < n; j++ {
+			a[j], b[j] = uint8(rng.UintN(256)), uint8(rng.UintN(256))
+		}
+		if lb, d := sigDist(signature(a), signature(b)), flow.Distance(a, b); lb > d {
+			t.Fatalf("signature bound %d exceeds distance %d for %v vs %v", lb, d, a, b)
+		}
+	}
+}
+
+// vecIndex puts and gets must round-trip exact vectors only, including
+// same-hash... in practice distinct vectors; equality is verified per probe.
+func TestVecIndexExactness(t *testing.T) {
+	x := newVecIndex(0)
+	a := flow.Vector{1, 2, 3}
+	b := flow.Vector{1, 2, 4}
+	x.put(a, 10)
+	if id, ok := x.get(a); !ok || id != 10 {
+		t.Fatalf("get(a) = (%d,%v)", id, ok)
+	}
+	if _, ok := x.get(b); ok {
+		t.Fatal("get(b) must miss")
+	}
+	if _, ok := x.get(flow.Vector{1, 2}); ok {
+		t.Fatal("prefix must miss")
+	}
+	x.put(a, 20) // upsert
+	if id, _ := x.get(a); id != 20 {
+		t.Fatalf("upsert kept %d", id)
+	}
+	var zero vecIndex
+	if _, ok := zero.get(a); ok {
+		t.Fatal("zero-value index must miss")
 	}
 }

@@ -2,11 +2,13 @@ package core
 
 import (
 	"bufio"
+	"cmp"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"sync"
 	"time"
 
 	"flowzip/internal/flow"
@@ -150,14 +152,36 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// encodeState pools the per-Encode scratch — the buffered writer and the
+// counting wrapper — so repeated encodes (EncodedSize in the figure sweeps,
+// Ratio) stop allocating buffers.
+type encodeState struct {
+	cw countingWriter
+	bw *bufio.Writer
+}
+
+var encodePool = sync.Pool{New: func() any {
+	s := &encodeState{}
+	s.bw = bufio.NewWriterSize(&s.cw, 1<<15)
+	return s
+}}
+
 // Encode writes the archive and returns the per-section byte counts.
 func (a *Archive) Encode(w io.Writer) (SectionSizes, error) {
 	var sizes SectionSizes
 	if err := a.Validate(); err != nil {
 		return sizes, err
 	}
-	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
+	st := encodePool.Get().(*encodeState)
+	defer func() {
+		st.cw = countingWriter{}
+		st.bw.Reset(&st.cw)
+		encodePool.Put(st)
+	}()
+	st.cw = countingWriter{w: w}
+	cw := &st.cw
+	bw := st.bw
+	bw.Reset(cw)
 	var scratch [binary.MaxVarintLen64]byte
 	writeUvarint := func(v uint64) error {
 		n := binary.PutUvarint(scratch[:], v)
@@ -244,9 +268,14 @@ func (a *Archive) Encode(w io.Writer) (SectionSizes, error) {
 		return sizes, err
 	}
 
-	// Time-seq, delta encoded over sorted timestamps.
-	recs := append([]TimeSeqRecord(nil), a.TimeSeq...)
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].FirstTS < recs[j].FirstTS })
+	// Time-seq, delta encoded over sorted timestamps. Every compressor
+	// already emits TimeSeq sorted by FirstTS, so the defensive copy-and-sort
+	// (kept for hand-built archives) is normally skipped.
+	recs := a.TimeSeq
+	if !slices.IsSortedFunc(recs, func(x, y TimeSeqRecord) int { return cmp.Compare(x.FirstTS, y.FirstTS) }) {
+		recs = append([]TimeSeqRecord(nil), a.TimeSeq...)
+		slices.SortStableFunc(recs, func(x, y TimeSeqRecord) int { return cmp.Compare(x.FirstTS, y.FirstTS) })
+	}
 	if err := writeUvarint(uint64(len(recs))); err != nil {
 		return sizes, err
 	}
@@ -390,8 +419,8 @@ func Decode(r io.Reader) (*Archive, error) {
 	}
 	a.TimeSeq = make([]TimeSeqRecord, nRec)
 	prev := time.Duration(0)
+	var vals [4]uint64
 	for i := range a.TimeSeq {
-		vals := make([]uint64, 4)
 		for j := range vals {
 			v, err := read()
 			if err != nil {

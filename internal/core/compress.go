@@ -26,6 +26,7 @@ type Compressor struct {
 	timeSeq []TimeSeqRecord
 	stats   CompressStats
 	packets int64
+	vbuf    flow.Vector // reusable characterization scratch (finalizeFlow)
 }
 
 // CompressStats counts compressor activity for reporting.
@@ -44,9 +45,12 @@ func NewCompressor(opts Options) (*Compressor, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	// The memo is semantically transparent (property-tested against the
+	// plain store), so the serial pipeline — the byte-identity baseline of
+	// every other mode — gets the exact-duplicate fast path too.
 	c := &Compressor{
 		opts:    opts,
-		store:   cluster.NewStoreLimit(opts.limit()),
+		store:   cluster.NewStoreLimit(opts.limit()).EnableMemo(),
 		addrIdx: make(map[pkt.IPv4]uint32),
 	}
 	c.table = flow.NewTable(c.finalizeFlow)
@@ -59,9 +63,13 @@ func (c *Compressor) Add(p *pkt.Packet) {
 	c.table.Add(p)
 }
 
-// finalizeFlow converts a finished flow into dataset entries.
+// finalizeFlow converts a finished flow into dataset entries. The flow and
+// the scratch characterization vector are both recycled on return, so the
+// steady-state finalize path allocates only what the archive retains
+// (long-flow copies, new templates, time-seq growth).
 func (c *Compressor) finalizeFlow(f *flow.Flow) {
-	v := f.Vector(c.opts.Weights)
+	v := f.AppendVector(c.vbuf[:0], c.opts.Weights)
+	c.vbuf = v
 	c.stats.Flows++
 
 	rec := TimeSeqRecord{
@@ -90,6 +98,7 @@ func (c *Compressor) finalizeFlow(f *flow.Flow) {
 		c.stats.LongFlows++
 	}
 	c.timeSeq = append(c.timeSeq, rec)
+	c.table.Recycle(f)
 }
 
 func (c *Compressor) addrIndex(ip pkt.IPv4) uint32 {
@@ -115,7 +124,9 @@ func (c *Compressor) Finish() *Archive {
 	for i, t := range c.store.Templates() {
 		shorts[i] = t.Vector
 	}
-	recs := append([]TimeSeqRecord(nil), c.timeSeq...)
+	// Finish consumes the compressor, so the time-seq dataset is sorted in
+	// place instead of being copied first.
+	recs := c.timeSeq
 	slices.SortStableFunc(recs, func(a, b TimeSeqRecord) int { return cmp.Compare(a.FirstTS, b.FirstTS) })
 
 	return &Archive{

@@ -124,7 +124,8 @@ type shardCompressor struct {
 	st     *shardState
 	table  *flow.Table
 	shared *cluster.SharedStore
-	cur    int64 // global index of the packet being added
+	cur    int64       // global index of the packet being added
+	vbuf   flow.Vector // reusable characterization scratch
 }
 
 func newShardCompressor(opts Options, sid uint16, shared *cluster.SharedStore) *shardCompressor {
@@ -140,7 +141,11 @@ func newShardCompressor(opts Options, sid uint16, shared *cluster.SharedStore) *
 			Server:   f.ServerIP,
 			Shard:    sid,
 		}
-		v := f.Vector(opts.Weights)
+		// The scratch vector is recycled per flow; every consumer below
+		// (shared Lookup/Propose, the store's Match, the LongF copy) either
+		// only reads it or interns its own copy.
+		v := f.AppendVector(c.vbuf[:0], opts.Weights)
+		c.vbuf = v
 		if f.Len() <= opts.ShortMax {
 			sf.RTT = f.EstimateRTT()
 			if gid, ok := c.sharedLookup(v); ok {
@@ -155,10 +160,11 @@ func newShardCompressor(opts Options, sid uint16, shared *cluster.SharedStore) *
 			}
 		} else {
 			sf.Long = true
-			sf.LongF = v
+			sf.LongF = append(flow.Vector(nil), v...)
 			sf.Gaps = f.InterPacketTimes()
 		}
 		c.st.flows = append(c.st.flows, sf)
+		c.table.Recycle(f)
 	})
 	return c
 }

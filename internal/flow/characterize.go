@@ -136,6 +136,53 @@ func Distance(a, b Vector) int {
 	return d
 }
 
+// Sum returns the sum of the vector's elements. |Sum(a)-Sum(b)| is a lower
+// bound on Distance(a, b) (triangle inequality applied per element), which
+// the cluster store uses to reject match candidates without touching their
+// elements.
+func Sum(v Vector) int {
+	s := 0
+	for _, x := range v {
+		s += int(x)
+	}
+	return s
+}
+
+// DistanceWithin reports whether Distance(a, b) < lim without always paying
+// for the full element walk: the partial sum is monotonically non-decreasing,
+// so the loop aborts as soon as it reaches lim. Like Distance it panics on
+// length mismatch; lim <= 0 is never satisfiable (distances are >= 0).
+func DistanceWithin(a, b Vector, lim int) bool {
+	_, ok := DistanceUnder(a, b, lim)
+	return ok
+}
+
+// DistanceUnder is the early-exit distance kernel behind DistanceWithin and
+// the store's pruned nearest-neighbour walk: it returns (Distance(a, b),
+// true) when the distance is strictly below cap, and (partial, false) as soon
+// as the running sum proves it is not — the partial value is only a lower
+// bound then. Panics on length mismatch, mirroring Distance.
+func DistanceUnder(a, b Vector, cap int) (int, bool) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("flow: DistanceUnder over different lengths %d vs %d", len(a), len(b)))
+	}
+	if cap <= 0 {
+		return 0, false
+	}
+	d := 0
+	for i := range a {
+		if a[i] > b[i] {
+			d += int(a[i] - b[i])
+		} else {
+			d += int(b[i] - a[i])
+		}
+		if d >= cap {
+			return d, false
+		}
+	}
+	return d, true
+}
+
 // DistanceLimit computes d_lim for an n-packet flow (paper eq. 4):
 // 2% of the maximum inter-flow distance n·MaxDistance.
 func DistanceLimit(n int) int { return DistanceLimitPct(n, 2.0) }

@@ -3,21 +3,24 @@ package flow
 import (
 	"cmp"
 	"slices"
-	"sort"
 	"time"
 
 	"flowzip/internal/pkt"
 )
 
 // PacketInfo is the per-packet information a Flow retains: enough to rebuild
-// the characterization vector and the timing model, nothing more.
+// the characterization vector and the timing model, nothing more. The class
+// fields are deliberately narrow — every active flow holds one PacketInfo
+// per packet, so at peak the table carries millions of these, and packing
+// them to 16 bytes (from the naive 40) is most of the flow table's memory
+// and copy traffic.
 type PacketInfo struct {
 	Timestamp time.Duration
-	FromLo    bool // direction relative to the canonical flow key
-	FlagClass int
-	DepClass  int
-	SizeClass int
-	Payload   int
+	Payload   int32 // TCP payload bytes
+	FromLo    bool  // direction relative to the canonical flow key
+	FlagClass uint8
+	DepClass  uint8
+	SizeClass uint8
 }
 
 // Flow is one assembled bidirectional TCP conversation.
@@ -46,7 +49,7 @@ func (f *Flow) Len() int { return len(f.Packets) }
 func (f *Flow) Bytes() int64 {
 	var b int64
 	for i := range f.Packets {
-		b += int64(pkt.HeaderBytes + f.Packets[i].Payload)
+		b += int64(pkt.HeaderBytes) + int64(f.Packets[i].Payload)
 	}
 	return b
 }
@@ -61,12 +64,20 @@ func (f *Flow) FirstTimestamp() time.Duration {
 
 // Vector computes F_f under the given weights.
 func (f *Flow) Vector(w Weights) Vector {
-	v := make(Vector, len(f.Packets))
+	return f.AppendVector(nil, w)
+}
+
+// AppendVector computes F_f under the given weights into dst's backing array,
+// growing it only when the capacity runs out, and returns the result. The
+// compressor's finalize hot path passes a per-compressor scratch slice here
+// so characterizing a flow allocates nothing in steady state (the template
+// store copies any vector it retains, so reusing the backing is safe).
+func (f *Flow) AppendVector(dst Vector, w Weights) Vector {
 	for i := range f.Packets {
 		p := &f.Packets[i]
-		v[i] = uint8(w.F(p.FlagClass, p.DepClass, p.SizeClass))
+		dst = append(dst, uint8(w.F(int(p.FlagClass), int(p.DepClass), int(p.SizeClass))))
 	}
-	return v
+	return dst
 }
 
 // InterPacketTimes returns the n-1 gaps between consecutive packets.
@@ -86,7 +97,11 @@ func (f *Flow) InterPacketTimes() []time.Duration {
 // paper's model, e.g. SYN→SYN+ACK). Zero when the flow has no dependent
 // packets.
 func (f *Flow) EstimateRTT() time.Duration {
-	var gaps []time.Duration
+	// Short flows (the only callers on the hot path) have at most ShortMax-1
+	// gaps, so a fixed stack buffer keeps the estimate allocation-free;
+	// longer flows spill to the heap through the ordinary append growth.
+	var buf [64]time.Duration
+	gaps := buf[:0]
 	for i := 1; i < len(f.Packets); i++ {
 		if f.Packets[i].DepClass == DepDependent {
 			gaps = append(gaps, f.Packets[i].Timestamp-f.Packets[i-1].Timestamp)
@@ -95,7 +110,7 @@ func (f *Flow) EstimateRTT() time.Duration {
 	if len(gaps) == 0 {
 		return 0
 	}
-	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	slices.Sort(gaps)
 	return gaps[len(gaps)/2]
 }
 
@@ -106,46 +121,113 @@ type Table struct {
 	active    map[pkt.FlowKey]*Flow
 	completed []*Flow
 	onDone    func(*Flow)
+
+	// last short-circuits the map lookup for packet bursts within one
+	// conversation — on real traffic consecutive packets very often belong
+	// to the same flow, and the canonical-key comparison is far cheaper
+	// than a map access.
+	last *Flow
+
+	// free holds flows handed back through Recycle: their Flow structs and
+	// PacketInfo backing arrays are reused for the next flows the table
+	// opens, which removes the per-flow allocations from the compressor's
+	// steady state. When the free list is empty, fresh flows come from the
+	// slabs below — one allocation per slab instead of one Flow allocation
+	// plus several append-growth steps per flow.
+	free     []*Flow
+	flowSlab []Flow
+	pktSlab  []PacketInfo
+}
+
+// Slab sizes: flows are carved from flowSlab one struct at a time, and each
+// fresh flow starts with a pktSlabFlowCap-capacity PacketInfo backing carved
+// from pktSlab (most flows in the paper's traces are a handful of packets;
+// longer ones spill to the ordinary append growth).
+const (
+	flowSlabLen    = 256
+	pktSlabLen     = 4096
+	pktSlabFlowCap = 8
+)
+
+// newFlow returns a zeroed flow ready for use, from the free list when
+// Recycle has stocked it, otherwise from the slabs.
+func (t *Table) newFlow() *Flow {
+	if n := len(t.free); n > 0 {
+		fl := t.free[n-1]
+		t.free = t.free[:n-1]
+		return fl
+	}
+	if len(t.flowSlab) == 0 {
+		t.flowSlab = make([]Flow, flowSlabLen)
+	}
+	fl := &t.flowSlab[0]
+	t.flowSlab = t.flowSlab[1:]
+	if len(t.pktSlab) < pktSlabFlowCap {
+		t.pktSlab = make([]PacketInfo, pktSlabLen)
+	}
+	fl.Packets = t.pktSlab[0:0:pktSlabFlowCap]
+	t.pktSlab = t.pktSlab[pktSlabFlowCap:]
+	return fl
 }
 
 // NewTable returns an empty table. If onDone is non-nil it is invoked for
 // every finalized flow instead of accumulating them in memory — the
 // streaming path the compressor uses. Pass nil to collect flows for Flows().
 func NewTable(onDone func(*Flow)) *Table {
-	return &Table{active: make(map[pkt.FlowKey]*Flow), onDone: onDone}
+	// Presizing the active map skips the first rounds of incremental growth
+	// (every grow rehashes all resident flows); real traces hold thousands
+	// of concurrent conversations, so 1024 buckets are never wasted.
+	return &Table{active: make(map[pkt.FlowKey]*Flow, 1024), onDone: onDone}
+}
+
+// Recycle hands a finalized flow's storage back to the table for reuse. Only
+// an onDone consumer may call it, for a flow it received and has finished
+// with: the flow, its Packets backing and everything reachable from it must
+// not be touched afterwards. Consumers that retain flows (Assemble, the
+// diversity studies) simply never call it.
+func (t *Table) Recycle(f *Flow) {
+	*f = Flow{Packets: f.Packets[:0]}
+	t.free = append(t.free, f)
 }
 
 // Add routes one packet into its flow. Packets must arrive in timestamp
 // order for dependence classification to be meaningful.
 func (t *Table) Add(p *pkt.Packet) {
+	// Canonicalize once: the key and the packet's direction relative to it
+	// share the same comparison, and recomputing them per use (Key, FromLo)
+	// dominated the assembly profile.
 	key := p.Key()
-	fl := t.active[key]
-	if fl == nil {
-		fl = &Flow{
-			Key:        key,
-			Hash:       key.Hash(),
-			ClientIP:   p.SrcIP,
-			ServerIP:   p.DstIP,
-			ServerPort: p.DstPort,
+	fromLo := p.SrcIP == key.LoIP && p.SrcPort == key.LoPort
+	fl := t.last
+	if fl == nil || fl.Key != key {
+		fl = t.active[key]
+		if fl == nil {
+			fl = t.newFlow()
+			fl.Key = key
+			fl.Hash = key.Hash()
+			fl.ClientIP = p.SrcIP
+			fl.ServerIP = p.DstIP
+			fl.ServerPort = p.DstPort
+			t.active[key] = fl
 		}
-		t.active[key] = fl
+		t.last = fl
 	}
-	dep := DepNotDependent
-	if n := len(fl.Packets); n > 0 && fl.Packets[n-1].FromLo != p.FromLo() {
+	dep := uint8(DepNotDependent)
+	if n := len(fl.Packets); n > 0 && fl.Packets[n-1].FromLo != fromLo {
 		// Previous packet of the conversation came from the opposite
 		// endpoint: this packet waited on it (ack dependence).
 		dep = DepDependent
 	}
 	fl.Packets = append(fl.Packets, PacketInfo{
 		Timestamp: p.Timestamp,
-		FromLo:    p.FromLo(),
-		FlagClass: FlagClass(p),
+		FromLo:    fromLo,
+		FlagClass: uint8(FlagClass(p)),
 		DepClass:  dep,
-		SizeClass: SizeClass(int(p.PayloadLen)),
-		Payload:   int(p.PayloadLen),
+		SizeClass: uint8(SizeClass(int(p.PayloadLen))),
+		Payload:   int32(p.PayloadLen),
 	})
 	if p.Flags.Has(pkt.FlagFIN) {
-		if p.FromLo() {
+		if fromLo {
 			fl.finLo = true
 		} else {
 			fl.finHi = true
@@ -162,6 +244,9 @@ func (t *Table) Add(p *pkt.Packet) {
 
 func (t *Table) finalize(key pkt.FlowKey, fl *Flow) {
 	delete(t.active, key)
+	if t.last == fl {
+		t.last = nil
+	}
 	if t.onDone != nil {
 		t.onDone(fl)
 		return
@@ -171,19 +256,26 @@ func (t *Table) finalize(key pkt.FlowKey, fl *Flow) {
 
 // Flush finalizes every still-active flow (end of trace).
 func (t *Table) Flush() {
-	flows := make([]*Flow, 0, len(t.active))
-	for _, fl := range t.active {
-		flows = append(flows, fl)
+	// Deterministic order: by first packet timestamp, then hash. The sort
+	// key is hoisted out of the flows so the comparator never chases the
+	// Flow pointer (traces leave most flows open, making this sort large).
+	type flushEnt struct {
+		ts   time.Duration
+		hash uint64
+		fl   *Flow
 	}
-	// Deterministic order: by first packet timestamp, then hash.
-	slices.SortFunc(flows, func(a, b *Flow) int {
-		if c := cmp.Compare(a.FirstTimestamp(), b.FirstTimestamp()); c != 0 {
+	ents := make([]flushEnt, 0, len(t.active))
+	for _, fl := range t.active {
+		ents = append(ents, flushEnt{fl.FirstTimestamp(), fl.Hash, fl})
+	}
+	slices.SortFunc(ents, func(a, b flushEnt) int {
+		if c := cmp.Compare(a.ts, b.ts); c != 0 {
 			return c
 		}
-		return cmp.Compare(a.Hash, b.Hash)
+		return cmp.Compare(a.hash, b.hash)
 	})
-	for _, fl := range flows {
-		t.finalize(fl.Key, fl)
+	for _, e := range ents {
+		t.finalize(e.fl.Key, e.fl)
 	}
 }
 
@@ -202,8 +294,8 @@ func Assemble(packets []pkt.Packet) []*Flow {
 	}
 	t.Flush()
 	flows := t.Flows()
-	sort.SliceStable(flows, func(i, j int) bool {
-		return flows[i].FirstTimestamp() < flows[j].FirstTimestamp()
+	slices.SortStableFunc(flows, func(a, b *Flow) int {
+		return cmp.Compare(a.FirstTimestamp(), b.FirstTimestamp())
 	})
 	return flows
 }

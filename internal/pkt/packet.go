@@ -140,17 +140,28 @@ type FlowKey struct {
 	Proto  uint8
 }
 
+// canonicalKey is the single source of the Lo/Hi ordering rule: the endpoint
+// with the smaller (IP, port) pair becomes the "Lo" side.
+func canonicalKey(srcIP, dstIP IPv4, srcPort, dstPort uint16, proto uint8) FlowKey {
+	if srcIP < dstIP || (srcIP == dstIP && srcPort <= dstPort) {
+		return FlowKey{srcIP, dstIP, srcPort, dstPort, proto}
+	}
+	return FlowKey{dstIP, srcIP, dstPort, srcPort, proto}
+}
+
 // Canonical builds the FlowKey for a tuple. The endpoint with the smaller
 // (IP, port) pair becomes the "Lo" side.
 func (t FiveTuple) Canonical() FlowKey {
-	if t.SrcIP < t.DstIP || (t.SrcIP == t.DstIP && t.SrcPort <= t.DstPort) {
-		return FlowKey{t.SrcIP, t.DstIP, t.SrcPort, t.DstPort, t.Proto}
-	}
-	return FlowKey{t.DstIP, t.SrcIP, t.DstPort, t.SrcPort, t.Proto}
+	return canonicalKey(t.SrcIP, t.DstIP, t.SrcPort, t.DstPort, t.Proto)
 }
 
-// Key returns the canonical flow key of the packet.
-func (p *Packet) Key() FlowKey { return p.Tuple().Canonical() }
+// Key returns the canonical flow key of the packet. It is equivalent to
+// Tuple().Canonical() but builds the key directly from the header fields —
+// this runs once per packet in the flow table, so the intermediate FiveTuple
+// copy is worth skipping.
+func (p *Packet) Key() FlowKey {
+	return canonicalKey(p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto)
+}
 
 // FromLo reports whether the packet travels from the key's Lo endpoint to the
 // Hi endpoint. Used to recover packet direction inside a canonical flow.

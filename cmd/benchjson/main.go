@@ -7,10 +7,17 @@
 //
 //	go test -bench . ./internal/dist | benchjson -o BENCH_dist.json
 //	benchjson -i bench.txt -o bench.json
+//	benchjson -prom -i http://localhost:9101/metrics -o daemon.json
 //
 // Standard benchmark lines parse into {name, iterations, metrics}; the
 // goos/goarch/pkg/cpu preamble becomes the environment block. Unrecognized
 // lines are ignored, so piping a whole `go test` run in is fine.
+//
+// With -prom the input is Prometheus text exposition instead — the format
+// flowzipd serves on /metrics — and each sample becomes {name, labels,
+// value} in the report's "samples" array, so the daemon's session and
+// rotation counters publish through the same JSON artifact pipeline as the
+// benchmark numbers. An -i starting with http:// or https:// is fetched.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -35,31 +43,61 @@ type Benchmark struct {
 // Report is the document benchjson emits.
 type Report struct {
 	Environment map[string]string `json:"environment,omitempty"`
-	Benchmarks  []Benchmark       `json:"benchmarks"`
+	Benchmarks  []Benchmark       `json:"benchmarks,omitempty"`
+	Samples     []Sample          `json:"samples,omitempty"`
+}
+
+// Sample is one parsed Prometheus sample line (-prom mode).
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	in := flag.String("i", "", "input file (default stdin)")
+	in := flag.String("i", "", "input file or, with -prom, a http(s):// metrics URL (default stdin)")
 	out := flag.String("o", "", "output file (default stdout)")
+	prom := flag.Bool("prom", false, "parse Prometheus text exposition (flowzipd /metrics) instead of bench output")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
+		if *prom && (strings.HasPrefix(*in, "http://") || strings.HasPrefix(*in, "https://")) {
+			resp, err := http.Get(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("%s: %s", *in, resp.Status)
+			}
+			r = resp.Body
+		} else {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
 		}
-		defer f.Close()
-		r = f
 	}
-	report, err := parse(r)
+	var report *Report
+	var err error
+	if *prom {
+		report, err = parseProm(r)
+	} else {
+		report, err = parse(r)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(report.Benchmarks) == 0 {
+	if !*prom && len(report.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found in input")
+	}
+	if *prom && len(report.Samples) == 0 {
+		log.Fatal("no Prometheus samples found in input")
 	}
 
 	var w io.Writer = os.Stdout
@@ -130,6 +168,104 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, true
+}
+
+// parseProm scans Prometheus text exposition (version 0.0.4, the format
+// flowzipd's /metrics serves): comment and blank lines are skipped, every
+// other line is `name[{label="value",...}] value`. Lines that do not parse
+// are an error — unlike bench output, a metrics page has no legitimate
+// unrecognized lines.
+func parseProm(r io.Reader) (*Report, error) {
+	report := &Report{}
+	sc := bufio.NewScanner(r)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", n, err)
+		}
+		report.Samples = append(report.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading input: %w", err)
+	}
+	return report, nil
+}
+
+func parsePromLine(line string) (Sample, error) {
+	name := line
+	rest := ""
+	var labels map[string]string
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		close := strings.LastIndexByte(line, '}')
+		if close < open {
+			return Sample{}, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		name = line[:open]
+		rest = line[close+1:]
+		var err error
+		if labels, err = parsePromLabels(line[open+1 : close]); err != nil {
+			return Sample{}, err
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return Sample{}, fmt.Errorf("want `name value`, got %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample value in %q: %w", line, err)
+	}
+	return Sample{Name: name, Labels: labels, Value: v}, nil
+}
+
+// parsePromLabels parses `k1="v1",k2="v2"`. Escapes inside label values are
+// limited to what the daemon emits (\\, \", \n), matching the exposition
+// format's quoting rules.
+func parsePromLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for s = strings.TrimSpace(s); s != ""; {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		var val strings.Builder
+		i := eq + 2
+		for {
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				i++
+				switch s[i] {
+				case 'n':
+					c = '\n'
+				default:
+					c = s[i]
+				}
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+		s = strings.TrimSpace(s[i+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
 }
 
 // stripProcsSuffix removes the trailing -GOMAXPROCS that `go test` appends

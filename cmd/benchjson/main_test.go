@@ -40,6 +40,67 @@ ok  	flowzip/internal/dist	0.031s
 	}
 }
 
+// TestParsePromOutput parses exactly what flowzipd's /metrics serves:
+// HELP/TYPE comments, bare counters and labeled per-tenant series.
+func TestParsePromOutput(t *testing.T) {
+	const out = `# HELP flowzipd_sessions_active Sessions currently open.
+# TYPE flowzipd_sessions_active gauge
+flowzipd_sessions_active 3
+# HELP flowzipd_packets_total Packets accepted across all sessions.
+# TYPE flowzipd_packets_total counter
+flowzipd_packets_total 1.048576e+06
+# TYPE flowzipd_tenant_archive_bytes_total counter
+flowzipd_tenant_archive_bytes_total{tenant="lab-a"} 8192
+flowzipd_tenant_archive_bytes_total{tenant="lab-b",region="eu"} 512
+`
+	report, err := parseProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Samples) != 4 {
+		t.Fatalf("parsed %d samples, want 4", len(report.Samples))
+	}
+	if s := report.Samples[0]; s.Name != "flowzipd_sessions_active" || s.Value != 3 || s.Labels != nil {
+		t.Errorf("bare gauge mangled: %+v", s)
+	}
+	if s := report.Samples[1]; s.Value != 1048576 {
+		t.Errorf("scientific-notation value mangled: %+v", s)
+	}
+	if s := report.Samples[2]; s.Labels["tenant"] != "lab-a" || s.Value != 8192 {
+		t.Errorf("labeled counter mangled: %+v", s)
+	}
+	if s := report.Samples[3]; s.Labels["tenant"] != "lab-b" || s.Labels["region"] != "eu" {
+		t.Errorf("multi-label counter mangled: %+v", s)
+	}
+}
+
+// TestParsePromRejectsGarbage: a metrics page has no legitimate unparseable
+// lines, so they are errors, not silently dropped samples.
+func TestParsePromRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"flowzipd_x one\n",
+		"flowzipd_x{tenant=\"a\" 1\n",
+		"flowzipd_x{tenant=a} 1\n",
+		"just some words\n",
+	} {
+		if _, err := parseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("parseProm(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParsePromLabelEscapes: the exposition format's \\, \" and \n escapes
+// round-trip.
+func TestParsePromLabelEscapes(t *testing.T) {
+	s, err := parsePromLine(`x{k="a\"b\\c\nd"} 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Labels["k"] != "a\"b\\c\nd" {
+		t.Errorf("escaped label = %q", s.Labels["k"])
+	}
+}
+
 // TestStripProcsSuffix pins the name transform: only a trailing all-digit
 // segment is the GOMAXPROCS suffix; dashes inside benchmark and
 // sub-benchmark names must survive.

@@ -14,6 +14,7 @@
 //	flowzip merge      -o web.fz web.s0.fzshard ... web.s3.fzshard
 //	flowzip coordinate -listen :9000 -shards 4 -o web.fz
 //	flowzip worker     -connect host:9000 -i web.tsh
+//	flowzip ingest     -connect host:9100 -tenant lab -i web.tsh
 //
 // -workers selects the compression shards: 0 (the default) uses one shard
 // per CPU, 1 runs the serial pipeline; serial, parallel and streaming modes
@@ -31,20 +32,30 @@
 // coordinator, receive partition assignments and push shard state back.
 // However the shards traveled, the merged archive is byte-for-byte
 // identical to the single-machine compress output.
+//
+// ingest streams a capture into a running flowzipd daemon (cmd/flowzipd):
+// the daemon compresses the session server-side and rotates the archives
+// under its tenant directory, while acks propagate its backpressure to this
+// client. inspect also reads the daemon's .fzmeta segment sidecars, either
+// directly or alongside the archive segment they annotate.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"flowzip/internal/baseline"
 	"flowzip/internal/cli"
 	"flowzip/internal/core"
 	"flowzip/internal/dist"
 	"flowzip/internal/flow"
+	"flowzip/internal/server"
 	"flowzip/internal/stats"
 	"flowzip/internal/trace"
 )
@@ -75,6 +86,8 @@ func main() {
 		runCoordinate(args)
 	case "worker":
 		runWorker(args)
+	case "ingest":
+		runIngest(args)
 	default:
 		usage()
 	}
@@ -86,13 +99,14 @@ func usage() {
 commands:
   compress    compress a trace (.tsh/.pcap) into a flowzip archive
   decompress  regenerate a synthetic trace from an archive
-  inspect     print archive or .fzshard shard-file statistics
+  inspect     print archive, .fzshard or .fzmeta statistics
   compare     run all baseline compressors on a trace
   synth       generate a new trace from an archive's traffic model
   shard       compress one partition of a trace into a .fzshard file
   merge       fold a complete set of .fzshard files into an archive
   coordinate  serve partition assignments and merge worker results (TCP)
-  worker      compress partitions for a coordinator (TCP)`)
+  worker      compress partitions for a coordinator (TCP)
+  ingest      stream a trace into a flowzipd daemon session (TCP)`)
 	os.Exit(2)
 }
 
@@ -196,11 +210,17 @@ func runCoordinate(args []string) {
 	shards := cli.ShardsFlag(fs)
 	quiet := fs.Bool("q", false, "suppress per-shard progress on stderr")
 	opts := codecFlags(fs)
+	buildNet := cli.NetFlags(fs, "worker", "one shard result", true)
 	fs.Parse(args)
 	if err := cli.ValidateShards(*shards); err != nil {
 		log.Fatal("coordinate: ", err)
 	}
+	nc := buildNet()
+	if err := cli.ValidateNet(nc); err != nil {
+		log.Fatal("coordinate: ", err)
+	}
 	cfg := dist.CoordinatorConfig{
+		NetConfig:  nc,
 		Shards:     *shards,
 		Opts:       opts(),
 		ListenAddr: *listen,
@@ -225,6 +245,7 @@ func runWorker(args []string) {
 	connect := fs.String("connect", "", "coordinator TCP address (host:port)")
 	in := fs.String("i", "", "input trace (.tsh or .pcap); must be the same stream on every worker")
 	quiet := fs.Bool("q", false, "suppress per-shard progress on stderr")
+	buildNet := cli.NetFlags(fs, "coordinator", "the next assignment", false)
 	fs.Parse(args)
 	if *connect == "" {
 		log.Fatal("worker: -connect required")
@@ -232,8 +253,13 @@ func runWorker(args []string) {
 	if *in == "" {
 		log.Fatal("worker: -i required")
 	}
+	nc := buildNet()
+	if err := cli.ValidateNet(nc); err != nil {
+		log.Fatal("worker: ", err)
+	}
 	cfg := dist.WorkerConfig{
-		Source: func() (core.PacketSource, error) { return trace.OpenStream(*in, 0) },
+		NetConfig: nc,
+		Source:    func() (core.PacketSource, error) { return trace.OpenStream(*in, 0) },
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -245,6 +271,44 @@ func runWorker(args []string) {
 	if err := w.Run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func runIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	connect := fs.String("connect", "", "flowzipd daemon TCP address (host:port)")
+	tenant := fs.String("tenant", "", "tenant the session's archives land under")
+	in := fs.String("i", "", "input trace (.tsh or .pcap)")
+	opts := codecFlags(fs)
+	buildNet := cli.NetFlags(fs, "daemon", "the daemon's ack of one batch", false)
+	fs.Parse(args)
+	if *connect == "" {
+		log.Fatal("ingest: -connect required")
+	}
+	if *tenant == "" {
+		log.Fatal("ingest: -tenant required")
+	}
+	if *in == "" {
+		log.Fatal("ingest: -i required")
+	}
+	nc := buildNet()
+	if err := cli.ValidateNet(nc); err != nil {
+		log.Fatal("ingest: ", err)
+	}
+	src, err := trace.OpenStream(*in, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	sum, err := server.Ingest(*connect, *tenant, src, opts(), nc)
+	if err != nil && !errors.Is(err, server.ErrSessionDrained) {
+		log.Fatal(err)
+	}
+	state := "closed"
+	if sum.Drained {
+		state = "drained by daemon shutdown"
+	}
+	fmt.Printf("%s: session %s: %d packets, %d flows -> %d archives (%d bytes)\n",
+		*tenant, state, sum.Packets, sum.Flows, sum.Archives, sum.ArchiveBytes)
 }
 
 func runSynth(args []string) {
@@ -387,10 +451,14 @@ func runDecompress(args []string) {
 
 func runInspect(args []string) {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
-	in := fs.String("i", "", "input archive (.fz) or shard file (.fzshard)")
+	in := fs.String("i", "", "input archive (.fz), shard file (.fzshard) or daemon sidecar (.fzmeta)")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("inspect: -i required")
+	}
+	if strings.HasSuffix(*in, server.MetaSuffix) {
+		inspectMeta(*in)
+		return
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -425,7 +493,36 @@ func runInspect(args []string) {
 	if arch.SourceTSHBytes > 0 {
 		t.AddRowf("ratio", float64(sizes.Total())/float64(arch.SourceTSHBytes))
 	}
+	// A daemon segment carries a JSON sidecar attributing the archive to its
+	// tenant and rotation sequence; fold it into the same table when present.
+	if meta, err := server.ReadSegmentMeta(*in); err == nil {
+		addMetaRows(t, meta)
+	}
 	t.Render(os.Stdout)
+}
+
+// inspectMeta prints a daemon segment sidecar given the .fzmeta path itself.
+func inspectMeta(name string) {
+	meta, err := server.ReadSegmentMeta(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &stats.Table{Title: "daemon segment " + name, Headers: []string{"field", "value"}}
+	addMetaRows(t, meta)
+	t.Render(os.Stdout)
+}
+
+// addMetaRows appends the daemon-session attribution of one archive segment.
+func addMetaRows(t *stats.Table, m *server.SegmentMeta) {
+	t.AddRowf("tenant", m.Tenant)
+	t.AddRowf("session", m.Session)
+	t.AddRowf("segment seq", m.Seq)
+	t.AddRowf("segment reason", m.Reason)
+	t.AddRowf("segment packets", m.Packets)
+	t.AddRowf("segment flows", m.Flows)
+	t.AddRowf("segment bytes", m.Bytes)
+	t.AddRowf("first timestamp", time.Unix(0, m.FirstTS).UTC().Format(time.RFC3339Nano))
+	t.AddRowf("last timestamp", time.Unix(0, m.LastTS).UTC().Format(time.RFC3339Nano))
 }
 
 // inspectShard prints the header of a .fzshard shard-state file.

@@ -78,6 +78,33 @@
 //	src := func() (flowzip.PacketSource, error) { return flowzip.OpenPcap("capture.pcap") }
 //	archive, err := flowzip.CompressDistributed(src, flowzip.DefaultOptions(), 8, 4)
 //
+// # The unified Pipeline
+//
+// Every Compress* variant above is a thin wrapper over one entry point:
+// New(opts, cfg) validates codec options and pipeline knobs once and returns
+// a Pipeline whose Compress method streams any PacketSource and whose
+// CompressTrace method runs the in-memory sharded path — both byte-identical
+// to serial Compress. New is strict where the legacy wrappers clamp:
+//
+//	p, err := flowzip.New(flowzip.DefaultOptions(), flowzip.Config{Workers: 4})
+//	archive, err := p.Compress(flowzip.TraceSource(tr, 0))
+//
+// # The ingestion daemon
+//
+// flowzipd (NewDaemon, cmd/flowzipd) turns the streaming pipeline into a
+// long-lived service: many concurrent capture clients stream packet batches
+// over framed TCP, each session runs its own bounded pipeline, and archives
+// land under one directory per tenant, rotated on size/age boundaries with a
+// JSON sidecar (SegmentMeta) per segment. Backpressure reaches the capture
+// point through the ack stream, quotas bound tenants, graceful shutdown
+// drains in-flight sessions, and counters are served in Prometheus text
+// format. Every segment is still byte-identical to a serial Compress over
+// its packet range:
+//
+//	d, err := flowzip.NewDaemon(flowzip.DaemonConfig{ListenAddr: ":9100", Dir: "archives"})
+//	sum, err := flowzip.Ingest(addr, "tenant-a", src, flowzip.DefaultOptions(), flowzip.NetConfig{})
+//	err = d.Shutdown(ctx) // drain: finalize sessions, flush archives
+//
 // The subsystems behind the facade live in internal/ (see ARCHITECTURE.md
 // for the map); the cmd/ binaries and examples/ directory show complete
 // pipelines, including the paper's figure reproductions.

@@ -10,6 +10,7 @@ import (
 	"flowzip/internal/flowgen"
 	"flowzip/internal/pcap"
 	"flowzip/internal/pkt"
+	"flowzip/internal/server"
 	"flowzip/internal/trace"
 )
 
@@ -73,7 +74,39 @@ type (
 	WorkerConfig = dist.WorkerConfig
 	// ShardHeader is the decoded fixed header of serialized shard state.
 	ShardHeader = dist.ShardHeader
+	// Config is the unified pipeline configuration consumed by New: one
+	// worker count, one residency window, one shared-template switch, one
+	// stats sink, interpreted identically by every input shape.
+	Config = core.PipelineConfig
+	// Pipeline is the unified compression entry point returned by New.
+	Pipeline = core.Pipeline
+	// NetConfig is the shared connection-timing configuration of every
+	// framed-TCP endpoint: coordinator, worker and daemon take the same
+	// three knobs (frame timeout, result timeout, retries).
+	NetConfig = dist.NetConfig
+	// SessionSummary is what one daemon ingestion session produced.
+	SessionSummary = dist.SessionSummary
+	// Daemon is flowzipd: the long-lived multi-tenant ingestion daemon.
+	Daemon = server.Daemon
+	// DaemonConfig parameterizes a Daemon (listener, archive root, quotas,
+	// rotation, metrics endpoint).
+	DaemonConfig = server.Config
+	// Quotas bounds what daemon tenants may consume.
+	Quotas = server.Quotas
+	// Rotation cuts daemon sessions into archive segments.
+	Rotation = server.Rotation
+	// SegmentMeta is the JSON sidecar written next to each daemon archive
+	// segment.
+	SegmentMeta = server.SegmentMeta
+	// DaemonMetrics is the daemon's counter set (rendered on /metrics).
+	DaemonMetrics = server.Metrics
+	// IngestClient is one capture stream into a daemon.
+	IngestClient = server.Client
 )
+
+// ErrSessionDrained reports that a daemon finalized an ingestion session
+// early during graceful shutdown; everything acked was flushed to archives.
+var ErrSessionDrained = server.ErrSessionDrained
 
 // DefaultMaxResident is CompressStream's default bound on packets resident
 // in the pipeline.
@@ -122,8 +155,18 @@ func RandomizeAddresses(tr *Trace, seed uint64) *Trace {
 	return flowgen.RandomizeAddresses(tr, seed)
 }
 
+// New validates opts and cfg and returns the unified compression Pipeline —
+// the single entry point behind which every legacy Compress* function now
+// sits. Pipeline.Compress streams any PacketSource in bounded memory;
+// Pipeline.CompressTrace runs the in-memory sharded pipeline. Both produce
+// archives byte-for-byte identical to serial Compress over the same packets.
+// Unlike the legacy wrappers, New is strict: out-of-range worker counts or
+// windows are errors, never silent clamps.
+func New(opts Options, cfg Config) (*Pipeline, error) { return core.NewPipeline(opts, cfg) }
+
 // Compress runs the flow-clustering compressor over a timestamp-sorted
-// trace.
+// trace — the serial reference path every other pipeline must reproduce byte
+// for byte.
 func Compress(tr *Trace, opts Options) (*Archive, error) { return core.Compress(tr, opts) }
 
 // CompressParallel runs the compressor sharded across workers goroutines,
@@ -131,6 +174,9 @@ func Compress(tr *Trace, opts Options) (*Archive, error) { return core.Compress(
 // per-shard results. The archive is byte-for-byte identical to the serial
 // Compress output. workers <= 0 uses one shard per CPU; workers == 1 is the
 // serial path; counts beyond 256 shards are clamped.
+//
+// CompressParallel is a compatibility wrapper over New: it normalizes the
+// worker count and delegates to Pipeline.CompressTrace.
 func CompressParallel(tr *Trace, opts Options, workers int) (*Archive, error) {
 	return core.CompressParallel(tr, opts, workers)
 }
@@ -141,6 +187,9 @@ func CompressParallel(tr *Trace, opts Options, workers int) (*Archive, error) {
 // merge replay re-clusters only overflow flows plus each shared vector's
 // first occurrence — same archive bytes, measurably less merge work
 // (observable through ParallelStats).
+//
+// It is a compatibility wrapper over New, preserving the forgiving legacy
+// clamping; new code should construct a Pipeline directly.
 func CompressParallelConfig(tr *Trace, opts Options, cfg ParallelConfig) (*Archive, error) {
 	return core.CompressParallelConfig(tr, opts, cfg)
 }
@@ -152,15 +201,45 @@ func CompressParallelConfig(tr *Trace, opts Options, cfg ParallelConfig) (*Archi
 // stream length. The archive is byte-for-byte identical to the serial
 // Compress over the same packets. Packets must arrive in timestamp order;
 // workers <= 0 uses one shard per CPU.
+//
+// CompressStream is a compatibility wrapper over New: it normalizes the
+// worker count and delegates to Pipeline.Compress.
 func CompressStream(src PacketSource, opts Options, workers int) (*Archive, error) {
 	return core.CompressStream(src, opts, workers)
 }
 
 // CompressStreamConfig is CompressStream with an explicit residency window
-// and progress reporting.
+// and progress reporting. It is a compatibility wrapper over New, preserving
+// the forgiving legacy clamping; new code should construct a Pipeline
+// directly.
 func CompressStreamConfig(src PacketSource, opts Options, cfg StreamConfig) (*Archive, error) {
 	return core.CompressStreamConfig(src, opts, cfg)
 }
+
+// NewDaemon starts flowzipd: the long-lived ingestion daemon accepting many
+// concurrent capture sessions, compressing each through its own bounded
+// pipeline into per-tenant archive directories with rotation, quotas and a
+// Prometheus metrics endpoint. End with Daemon.Shutdown (graceful drain) or
+// Daemon.Close.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return server.New(cfg) }
+
+// DialDaemon opens one capture session into a running daemon. Each
+// IngestClient.Send blocks until the daemon acks, so daemon backpressure
+// reaches the capture point.
+func DialDaemon(addr, tenant string, opts Options, nc NetConfig) (*IngestClient, error) {
+	return server.DialSession(addr, tenant, opts, nc)
+}
+
+// Ingest streams every batch of src into a daemon session under tenant and
+// returns the daemon's summary. A daemon draining mid-stream surfaces as
+// ErrSessionDrained alongside the summary of what was flushed.
+func Ingest(addr, tenant string, src PacketSource, opts Options, nc NetConfig) (SessionSummary, error) {
+	return server.Ingest(addr, tenant, src, opts, nc)
+}
+
+// ReadSegmentMeta loads the JSON sidecar of a daemon archive segment; path
+// may name the sidecar or the archive itself.
+func ReadSegmentMeta(path string) (*SegmentMeta, error) { return server.ReadSegmentMeta(path) }
 
 // CompressShard compresses partition shard of shards over the full stream
 // src: every packet is scanned (for global ordering), but only the flows

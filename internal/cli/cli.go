@@ -11,8 +11,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"flowzip/internal/core"
+	"flowzip/internal/dist"
 	"flowzip/internal/flow"
 )
 
@@ -164,6 +166,82 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// Net flag templates: the single source of the connection-timing help text.
+// Every framed-TCP endpoint (coordinate, worker, flowzipd, ingest) registers
+// the same three knobs with the same semantics, feeding one dist.NetConfig.
+const (
+	frameTimeoutTemplate  = "timeout for one control-frame read/write on the %s connection"
+	resultTimeoutTemplate = "timeout for the slow half of the exchange (%s)"
+	netRetriesTemplate    = "total failures one shard may accumulate before the run is abandoned"
+)
+
+// NetFlags registers the canonical connection-timing flags (-frame-timeout,
+// -result-timeout and, when retries is true, -net-retries) on fs and returns
+// a builder for the resulting dist.NetConfig. purpose names the connection
+// ("coordinator", "daemon", ...) and slowHalf describes what the result
+// timeout waits for ("one shard result", "the session's next batch", ...).
+// Only the verbs with re-queueable work (the coordinator) expose -net-retries;
+// everywhere else the knob would be dead weight in the usage text.
+func NetFlags(fs *flag.FlagSet, purpose, slowHalf string, retries bool) func() dist.NetConfig {
+	frame := fs.Duration("frame-timeout", dist.DefaultFrameTimeout,
+		fmt.Sprintf(frameTimeoutTemplate, purpose))
+	result := fs.Duration("result-timeout", dist.DefaultResultTimeout,
+		fmt.Sprintf(resultTimeoutTemplate, slowHalf))
+	nretries := dist.DefaultRetries
+	var retriesPtr *int
+	if retries {
+		retriesPtr = fs.Int("net-retries", dist.DefaultRetries, netRetriesTemplate)
+	}
+	return func() dist.NetConfig {
+		if retriesPtr != nil {
+			nretries = *retriesPtr
+		}
+		return dist.NetConfig{FrameTimeout: *frame, ResultTimeout: *result, Retries: nretries}
+	}
+}
+
+// ValidateNet rejects connection-timing knobs the endpoints reject, with the
+// error message every command prints identically. Beyond the library's
+// non-negativity rule, the command line also rejects zero timeouts: a zero
+// means "default" programmatically, but `-frame-timeout 0` at the shell is a
+// misconfiguration, not a request for 30s.
+func ValidateNet(nc dist.NetConfig) error {
+	if nc.FrameTimeout <= 0 {
+		return fmt.Errorf("-frame-timeout %v must be > 0", nc.FrameTimeout)
+	}
+	if nc.ResultTimeout <= 0 {
+		return fmt.Errorf("-result-timeout %v must be > 0", nc.ResultTimeout)
+	}
+	if nc.Retries < 1 {
+		return fmt.Errorf("-net-retries %d must be >= 1", nc.Retries)
+	}
+	if err := nc.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RotationFlags registers the canonical daemon archive-rotation flags
+// (-rotate-packets, -rotate-age) on fs.
+func RotationFlags(fs *flag.FlagSet) (maxPackets *int64, maxAge *time.Duration) {
+	maxPackets = fs.Int64("rotate-packets", 0,
+		"rotate a session's archive after this many packets (0 = never)")
+	maxAge = fs.Duration("rotate-age", 0,
+		"rotate a session's archive after this much wall time (0 = never)")
+	return maxPackets, maxAge
+}
+
+// ValidateRotation rejects negative rotation bounds.
+func ValidateRotation(maxPackets int64, maxAge time.Duration) error {
+	if maxPackets < 0 {
+		return fmt.Errorf("-rotate-packets %d must be >= 0", maxPackets)
+	}
+	if maxAge < 0 {
+		return fmt.Errorf("-rotate-age %v must be >= 0", maxAge)
+	}
+	return nil
 }
 
 // maxResidentTemplate is the single source of the -maxresident help text

@@ -6,7 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"flowzip/internal/dist"
 	"flowzip/internal/flow"
 )
 
@@ -124,6 +126,107 @@ func TestShardsFlags(t *testing.T) {
 	}
 	if err := ValidateShardIndex(3, 4); err != nil {
 		t.Errorf("shard index 3/4 rejected: %v", err)
+	}
+}
+
+// TestNetFlags pins the shared connection-timing flag trio: canonical names,
+// library defaults, per-verb purpose strings, and the optional -net-retries
+// that only re-queueing endpoints expose.
+func TestNetFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	build := NetFlags(fs, "coordinator", "one shard result", true)
+	for name, want := range map[string]string{
+		"frame-timeout":  "coordinator",
+		"result-timeout": "one shard result",
+		"net-retries":    "abandoned",
+	} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("-%s not registered", name)
+		}
+		if !strings.Contains(f.Usage, want) {
+			t.Errorf("-%s usage %q missing %q", name, f.Usage, want)
+		}
+	}
+	// Unparsed flags yield the library defaults, so a verb that never
+	// overrides them behaves exactly like the zero NetConfig.
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	nc := build()
+	want := dist.NetConfig{
+		FrameTimeout:  dist.DefaultFrameTimeout,
+		ResultTimeout: dist.DefaultResultTimeout,
+		Retries:       dist.DefaultRetries,
+	}
+	if nc != want {
+		t.Errorf("defaults = %+v, want %+v", nc, want)
+	}
+
+	// Parsed values come through, and retries=false leaves the default.
+	fs = flag.NewFlagSet("x", flag.ContinueOnError)
+	build = NetFlags(fs, "daemon", "the session's next batch", false)
+	if fs.Lookup("net-retries") != nil {
+		t.Error("-net-retries registered on a verb without re-queueable work")
+	}
+	if err := fs.Parse([]string{"-frame-timeout", "5s", "-result-timeout", "2m"}); err != nil {
+		t.Fatal(err)
+	}
+	nc = build()
+	if nc.FrameTimeout != 5*time.Second || nc.ResultTimeout != 2*time.Minute || nc.Retries != dist.DefaultRetries {
+		t.Errorf("parsed = %+v", nc)
+	}
+}
+
+// TestValidateNet: the command line is stricter than the library — zero
+// timeouts mean "default" programmatically but are misconfigurations when
+// typed at the shell.
+func TestValidateNet(t *testing.T) {
+	good := dist.NetConfig{FrameTimeout: time.Second, ResultTimeout: time.Minute, Retries: 1}
+	if err := ValidateNet(good); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	for name, nc := range map[string]dist.NetConfig{
+		"zero frame timeout":      {FrameTimeout: 0, ResultTimeout: time.Minute, Retries: 1},
+		"negative frame timeout":  {FrameTimeout: -time.Second, ResultTimeout: time.Minute, Retries: 1},
+		"zero result timeout":     {FrameTimeout: time.Second, ResultTimeout: 0, Retries: 1},
+		"negative result timeout": {FrameTimeout: time.Second, ResultTimeout: -time.Minute, Retries: 1},
+		"zero retries":            {FrameTimeout: time.Second, ResultTimeout: time.Minute, Retries: 0},
+	} {
+		if err := ValidateNet(nc); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestRotationFlags pins the daemon rotation knobs: 0 disables, negatives are
+// rejected.
+func TestRotationFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	maxPackets, maxAge := RotationFlags(fs)
+	for _, name := range []string{"rotate-packets", "rotate-age"} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("-%s not registered", name)
+		}
+		if f.DefValue != "0" && f.DefValue != "0s" {
+			t.Errorf("-%s default %q, want disabled", name, f.DefValue)
+		}
+	}
+	if err := fs.Parse([]string{"-rotate-packets", "1000000", "-rotate-age", "1h"}); err != nil {
+		t.Fatal(err)
+	}
+	if *maxPackets != 1_000_000 || *maxAge != time.Hour {
+		t.Errorf("parsed packets=%d age=%v", *maxPackets, *maxAge)
+	}
+	if err := ValidateRotation(0, 0); err != nil {
+		t.Errorf("disabled rotation rejected: %v", err)
+	}
+	if err := ValidateRotation(-1, 0); err == nil {
+		t.Error("negative -rotate-packets accepted")
+	}
+	if err := ValidateRotation(0, -time.Second); err == nil {
+		t.Error("negative -rotate-age accepted")
 	}
 }
 

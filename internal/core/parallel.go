@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"time"
 
 	"flowzip/internal/cluster"
@@ -264,64 +263,20 @@ func CompressParallel(tr *trace.Trace, opts Options, workers int) (*Archive, err
 }
 
 // CompressParallelConfig is CompressParallel with shared-template control
-// and pipeline statistics.
+// and pipeline statistics. It is a compatibility wrapper over the unified
+// Pipeline entry point: the forgiving legacy semantics (negative or oversized
+// worker counts are normalized, never rejected) are applied here, then the
+// run is Pipeline.CompressTrace.
 func CompressParallelConfig(tr *trace.Trace, opts Options, cfg ParallelConfig) (*Archive, error) {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > flow.MaxShards {
-		workers = flow.MaxShards
-	}
-	if cfg.Stats != nil {
-		*cfg.Stats = ParallelStats{Workers: workers}
-	}
-	if workers == 1 {
-		return Compress(tr, opts)
-	}
-	if !tr.IsSorted() {
-		return nil, notSortedError(tr)
-	}
-	if err := opts.Validate(); err != nil {
+	p, err := NewPipeline(opts, PipelineConfig{
+		Workers:         clampWorkers(cfg.Workers),
+		SharedTemplates: cfg.SharedTemplates,
+		Stats:           cfg.Stats,
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := checkParallelPackets(int64(tr.Len())); err != nil {
-		return nil, err
-	}
-
-	ids := flow.Partition(tr.Packets, workers, workers)
-
-	// Bucket packet indices per shard so each worker walks only its own
-	// packets rather than rescanning the whole id array. Indices fit int32
-	// because checkParallelPackets bounded the trace above.
-	counts := make([]int, workers)
-	for _, id := range ids {
-		counts[id]++
-	}
-	buckets := make([][]int32, workers)
-	for w := range buckets {
-		buckets[w] = make([]int32, 0, counts[w])
-	}
-	for i, id := range ids {
-		buckets[id] = append(buckets[id], int32(i))
-	}
-
-	var shared *cluster.SharedStore
-	if cfg.SharedTemplates {
-		shared = cluster.NewSharedStore()
-	}
-	shards := make([]*shardState, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			shards[w] = compressShard(tr, opts, buckets[w], uint16(w), shared)
-		}(w)
-	}
-	wg.Wait()
-
-	return mergeShards(tr.Len(), opts, shards, shared, cfg.Stats)
+	return p.CompressTrace(tr)
 }
 
 // mergeShards interleaves shard results into serial finalize order and

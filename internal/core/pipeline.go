@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowzip/internal/cluster"
+	"flowzip/internal/flow"
+	"flowzip/internal/trace"
+)
+
+// PipelineConfig is the single knob set of the unified compression pipeline.
+// It subsumes what used to be spread over the CompressParallel /
+// CompressStream argument lists plus ParallelConfig and StreamConfig: one
+// worker count, one residency window, one shared-template switch, one stats
+// sink — interpreted the same way by every entry point.
+type PipelineConfig struct {
+	// Workers is the shard count, in [0, flow.MaxShards]; 0 selects
+	// DefaultWorkers (one per CPU). NewPipeline rejects counts outside the
+	// range — the legacy entry points clamp instead, documented there.
+	Workers int
+	// SharedTemplates shares one global template snapshot across the shard
+	// workers (see cluster.SharedStore): workers consult it before their
+	// private overflow store, shard state shrinks to overflow-only vectors,
+	// and the merge replay re-clusters only overflow flows plus each shared
+	// vector's first occurrence. Archive bytes are identical either way.
+	SharedTemplates bool
+	// MaxResident bounds the packets resident inside the streaming pipeline
+	// (shard channels plus per-shard pending chunks); 0 means
+	// DefaultMaxResident. The source's own current batch is not counted — a
+	// source reading N packets per Next adds at most N on top. Very small
+	// values are rounded up to a few packets per worker so chunks stay
+	// non-empty. The in-memory path (CompressTrace) ignores it.
+	MaxResident int
+	// Progress, when non-nil, is called synchronously from the streaming
+	// reader loop with the cumulative packet count — roughly once per source
+	// batch, and once more after the final packet.
+	Progress func(packets int64)
+	// Stats, when non-nil, receives the run's pipeline counters.
+	Stats *ParallelStats
+
+	// residentPeak, when set by tests, records the high-water mark of
+	// packets resident in the shard channels.
+	residentPeak *atomic.Int64
+}
+
+// Pipeline is the unified compression front end: codec options plus pipeline
+// configuration validated once, then applied to any input shape. Compress
+// streams a PacketSource through bounded shard channels; CompressTrace runs
+// the in-memory sharded pipeline over a materialized trace. Both produce
+// archives byte-for-byte identical to the serial Compress over the same
+// packets — the pipeline only changes how the work is scheduled, never the
+// bytes.
+//
+// A Pipeline is immutable after New and safe for concurrent use by multiple
+// goroutines, except for the Progress/Stats/residentPeak sinks, which are
+// per-run: share a Pipeline across concurrent runs only when those are nil.
+type Pipeline struct {
+	opts Options
+	cfg  PipelineConfig
+}
+
+// NewPipeline validates opts and cfg and returns a ready Pipeline. Unlike the
+// legacy entry points it is strict: a negative worker count, a count beyond
+// flow.MaxShards, or a negative residency window is an error rather than a
+// silent clamp.
+func NewPipeline(opts Options, cfg PipelineConfig) (*Pipeline, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers < 0 || cfg.Workers > flow.MaxShards {
+		return nil, fmt.Errorf("core: pipeline workers %d outside [0,%d]", cfg.Workers, flow.MaxShards)
+	}
+	if cfg.MaxResident < 0 {
+		return nil, fmt.Errorf("core: pipeline max resident %d must be >= 0", cfg.MaxResident)
+	}
+	return &Pipeline{opts: opts, cfg: cfg}, nil
+}
+
+// Options returns the codec options the pipeline compresses with.
+func (p *Pipeline) Options() Options { return p.opts }
+
+// Workers returns the effective shard count: the configured count, or
+// DefaultWorkers when the configuration left it 0.
+func (p *Pipeline) Workers() int {
+	if p.cfg.Workers <= 0 {
+		return DefaultWorkers()
+	}
+	return p.cfg.Workers
+}
+
+// Compress streams the packets of src through the sharded pipeline without
+// materializing the input: batches are partitioned by the 5-tuple hash
+// (flow.Partition) and fed to the shard workers through bounded channels, so
+// the reader blocks when a shard falls behind (backpressure) and resident
+// packets stay bounded by the window, not the stream length. The merge is the
+// deterministic replay shared with CompressTrace, so the archive is
+// byte-for-byte identical to the serial Compress over the same packets.
+//
+// Packets must arrive in timestamp order; out-of-order input is an error (an
+// in-memory trace can be Sorted first — a stream cannot).
+func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
+	workers := p.Workers()
+	maxResident := p.cfg.MaxResident
+	if maxResident <= 0 {
+		maxResident = DefaultMaxResident
+	}
+	// Packets in flight per shard: up to chanDepth chunks queued, one being
+	// processed and one pending in the reader — (chanDepth+2) chunks.
+	// Sizing chunks so workers*(chanDepth+2)*chunk <= maxResident keeps the
+	// pipeline within the window.
+	chunk := maxResident / (workers * (chanDepth + 2))
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	chans := make([]chan []idxPacket, workers)
+	for w := range chans {
+		chans[w] = make(chan []idxPacket, chanDepth)
+	}
+	var shared *cluster.SharedStore
+	if p.cfg.SharedTemplates {
+		shared = cluster.NewSharedStore()
+	}
+	if p.cfg.Stats != nil {
+		*p.cfg.Stats = ParallelStats{Workers: workers}
+	}
+	shards := make([]*shardState, workers)
+	var resident atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := newShardCompressor(p.opts, uint16(w), shared)
+			for ck := range chans[w] {
+				for i := range ck {
+					sc.add(ck[i].idx, &ck[i].p)
+				}
+				resident.Add(-int64(len(ck)))
+			}
+			shards[w] = sc.finish()
+		}(w)
+	}
+
+	pend := make([][]idxPacket, workers)
+	for w := range pend {
+		pend[w] = make([]idxPacket, 0, chunk)
+	}
+	send := func(w int) {
+		if len(pend[w]) == 0 {
+			return
+		}
+		now := resident.Add(int64(len(pend[w])))
+		if p.cfg.residentPeak != nil {
+			for {
+				peak := p.cfg.residentPeak.Load()
+				if now <= peak || p.cfg.residentPeak.CompareAndSwap(peak, now) {
+					break
+				}
+			}
+		}
+		chans[w] <- pend[w]
+		pend[w] = make([]idxPacket, 0, chunk)
+	}
+	// fail tears the pipeline down without feeding it further: closing the
+	// channels lets every worker drain and exit, so no goroutine leaks even
+	// when the source dies mid-stream.
+	fail := func(err error) (*Archive, error) {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+		return nil, err
+	}
+
+	var (
+		gidx   int64
+		lastTS time.Duration
+	)
+	for {
+		batch, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fail(fmt.Errorf("core: stream source: %w", err))
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		ids := flow.Partition(batch, workers, 1)
+		for i := range batch {
+			ts := batch[i].Timestamp
+			if ts < lastTS {
+				return fail(fmt.Errorf("core: stream source is not timestamp sorted at packet %d", gidx))
+			}
+			lastTS = ts
+			w := int(ids[i])
+			pend[w] = append(pend[w], idxPacket{idx: gidx, p: batch[i]})
+			gidx++
+			if len(pend[w]) >= chunk {
+				send(w)
+			}
+		}
+		if p.cfg.Progress != nil {
+			p.cfg.Progress(gidx)
+		}
+	}
+	for w := range pend {
+		send(w)
+		close(chans[w])
+	}
+	wg.Wait()
+	if p.cfg.Progress != nil {
+		p.cfg.Progress(gidx)
+	}
+	return mergeShards(int(gidx), p.opts, shards, shared, p.cfg.Stats)
+}
+
+// CompressTrace runs the in-memory sharded pipeline over a materialized
+// trace: packets are bucketed by shard up front, one worker compresses each
+// bucket, and the deterministic merge replays the results in serial finalize
+// order. One worker falls back to the serial compressor. The archive is
+// byte-for-byte identical to Compress(tr, opts).
+func (p *Pipeline) CompressTrace(tr *trace.Trace) (*Archive, error) {
+	workers := p.Workers()
+	if p.cfg.Stats != nil {
+		*p.cfg.Stats = ParallelStats{Workers: workers}
+	}
+	if workers == 1 {
+		return Compress(tr, p.opts)
+	}
+	if !tr.IsSorted() {
+		return nil, notSortedError(tr)
+	}
+	if err := checkParallelPackets(int64(tr.Len())); err != nil {
+		return nil, err
+	}
+
+	ids := flow.Partition(tr.Packets, workers, workers)
+
+	// Bucket packet indices per shard so each worker walks only its own
+	// packets rather than rescanning the whole id array. Indices fit int32
+	// because checkParallelPackets bounded the trace above.
+	counts := make([]int, workers)
+	for _, id := range ids {
+		counts[id]++
+	}
+	buckets := make([][]int32, workers)
+	for w := range buckets {
+		buckets[w] = make([]int32, 0, counts[w])
+	}
+	for i, id := range ids {
+		buckets[id] = append(buckets[id], int32(i))
+	}
+
+	var shared *cluster.SharedStore
+	if p.cfg.SharedTemplates {
+		shared = cluster.NewSharedStore()
+	}
+	shards := make([]*shardState, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shards[w] = compressShard(tr, p.opts, buckets[w], uint16(w), shared)
+		}(w)
+	}
+	wg.Wait()
+
+	return mergeShards(tr.Len(), p.opts, shards, shared, p.cfg.Stats)
+}
+
+// clampWorkers maps a legacy worker count onto the strict PipelineConfig
+// range: non-positive selects the default, counts beyond flow.MaxShards are
+// clamped. The legacy Compress* entry points documented this forgiving
+// behavior, so their wrappers normalize here before handing over to the
+// strict NewPipeline.
+func clampWorkers(workers int) int {
+	if workers <= 0 {
+		return 0
+	}
+	if workers > flow.MaxShards {
+		return flow.MaxShards
+	}
+	return workers
+}

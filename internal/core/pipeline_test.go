@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/trace"
+)
+
+// TestNewPipelineValidation: the unified entry point is strict where the
+// legacy wrappers clamp.
+func TestNewPipelineValidation(t *testing.T) {
+	opts := DefaultOptions()
+	if _, err := NewPipeline(opts, PipelineConfig{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if _, err := NewPipeline(opts, PipelineConfig{Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if _, err := NewPipeline(opts, PipelineConfig{Workers: flow.MaxShards + 1}); err == nil {
+		t.Error("workers beyond MaxShards accepted")
+	}
+	if _, err := NewPipeline(opts, PipelineConfig{MaxResident: -1}); err == nil {
+		t.Error("negative residency accepted")
+	}
+	bad := DefaultOptions()
+	bad.ShortMax = 1
+	if _, err := NewPipeline(bad, PipelineConfig{}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+// TestPipelineByteIdentical: both Pipeline inputs — a stream and a
+// materialized trace — reproduce the serial archive byte for byte.
+func TestPipelineByteIdentical(t *testing.T) {
+	tr := webTrace(61, 400)
+	opts := DefaultOptions()
+	serial, err := Compress(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := serial.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		p, err := NewPipeline(opts, PipelineConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromTrace, err := p.CompressTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromStream, err := p.Compress(trace.Batches(tr, 128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, arch := range map[string]*Archive{"trace": fromTrace, "stream": fromStream} {
+			var got bytes.Buffer
+			if _, err := arch.Encode(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("workers=%d %s archive differs from serial", workers, name)
+			}
+		}
+	}
+}
+
+// TestPipelineWorkersReporting: Workers resolves 0 to the CPU default and
+// the stats sink sees the effective count.
+func TestPipelineWorkersReporting(t *testing.T) {
+	opts := DefaultOptions()
+	var stats ParallelStats
+	p, err := NewPipeline(opts, PipelineConfig{Workers: 3, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", p.Workers())
+	}
+	if _, err := p.CompressTrace(webTrace(62, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 3 {
+		t.Errorf("stats.Workers = %d, want 3", stats.Workers)
+	}
+	p, err = NewPipeline(opts, PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != DefaultWorkers() {
+		t.Errorf("Workers() = %d, want DefaultWorkers %d", p.Workers(), DefaultWorkers())
+	}
+}
+
+// TestLegacyWrappersStillClamp: the historical entry points keep their
+// forgiving semantics on top of the strict pipeline.
+func TestLegacyWrappersStillClamp(t *testing.T) {
+	tr := webTrace(63, 60)
+	opts := DefaultOptions()
+	var stats ParallelStats
+	if _, err := CompressParallelConfig(tr, opts, ParallelConfig{Workers: flow.MaxShards + 50, Stats: &stats}); err != nil {
+		t.Fatalf("oversized worker count no longer clamps: %v", err)
+	}
+	if stats.Workers != flow.MaxShards {
+		t.Errorf("stats.Workers = %d, want clamp to %d", stats.Workers, flow.MaxShards)
+	}
+	if _, err := CompressParallel(tr, opts, -5); err != nil {
+		t.Fatalf("negative worker count no longer defaults: %v", err)
+	}
+	if _, err := CompressStreamConfig(trace.Batches(tr, 0), opts, StreamConfig{Workers: -1, MaxResident: -1}); err != nil {
+		t.Fatalf("negative stream knobs no longer default: %v", err)
+	}
+}

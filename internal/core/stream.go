@@ -1,15 +1,8 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"io"
-	"sync"
 	"sync/atomic"
-	"time"
 
-	"flowzip/internal/cluster"
-	"flowzip/internal/flow"
 	"flowzip/internal/pkt"
 )
 
@@ -94,131 +87,25 @@ func CompressStream(src PacketSource, opts Options, workers int) (*Archive, erro
 }
 
 // CompressStreamConfig is CompressStream with an explicit residency window
-// and progress reporting.
+// and progress reporting. It is a compatibility wrapper over the unified
+// Pipeline entry point: the forgiving legacy semantics (negative or oversized
+// worker counts and windows are normalized, never rejected) are applied here,
+// then the run is Pipeline.Compress.
 func CompressStreamConfig(src PacketSource, opts Options, cfg StreamConfig) (*Archive, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > flow.MaxShards {
-		workers = flow.MaxShards
-	}
 	maxResident := cfg.MaxResident
-	if maxResident <= 0 {
-		maxResident = DefaultMaxResident
+	if maxResident < 0 {
+		maxResident = 0
 	}
-	// Packets in flight per shard: up to chanDepth chunks queued, one being
-	// processed and one pending in the reader — (chanDepth+2) chunks.
-	// Sizing chunks so workers*(chanDepth+2)*chunk <= maxResident keeps the
-	// pipeline within the window.
-	chunk := maxResident / (workers * (chanDepth + 2))
-	if chunk < 1 {
-		chunk = 1
-	}
-
-	chans := make([]chan []idxPacket, workers)
-	for w := range chans {
-		chans[w] = make(chan []idxPacket, chanDepth)
-	}
-	var shared *cluster.SharedStore
-	if cfg.SharedTemplates {
-		shared = cluster.NewSharedStore()
-	}
-	if cfg.Stats != nil {
-		*cfg.Stats = ParallelStats{Workers: workers}
-	}
-	shards := make([]*shardState, workers)
-	var resident atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			sc := newShardCompressor(opts, uint16(w), shared)
-			for ck := range chans[w] {
-				for i := range ck {
-					sc.add(ck[i].idx, &ck[i].p)
-				}
-				resident.Add(-int64(len(ck)))
-			}
-			shards[w] = sc.finish()
-		}(w)
-	}
-
-	pend := make([][]idxPacket, workers)
-	for w := range pend {
-		pend[w] = make([]idxPacket, 0, chunk)
-	}
-	send := func(w int) {
-		if len(pend[w]) == 0 {
-			return
-		}
-		now := resident.Add(int64(len(pend[w])))
-		if cfg.residentPeak != nil {
-			for {
-				peak := cfg.residentPeak.Load()
-				if now <= peak || cfg.residentPeak.CompareAndSwap(peak, now) {
-					break
-				}
-			}
-		}
-		chans[w] <- pend[w]
-		pend[w] = make([]idxPacket, 0, chunk)
-	}
-	// fail tears the pipeline down without feeding it further: closing the
-	// channels lets every worker drain and exit, so no goroutine leaks even
-	// when the source dies mid-stream.
-	fail := func(err error) (*Archive, error) {
-		for _, ch := range chans {
-			close(ch)
-		}
-		wg.Wait()
+	p, err := NewPipeline(opts, PipelineConfig{
+		Workers:         clampWorkers(cfg.Workers),
+		SharedTemplates: cfg.SharedTemplates,
+		MaxResident:     maxResident,
+		Progress:        cfg.Progress,
+		Stats:           cfg.Stats,
+		residentPeak:    cfg.residentPeak,
+	})
+	if err != nil {
 		return nil, err
 	}
-
-	var (
-		gidx   int64
-		lastTS time.Duration
-	)
-	for {
-		batch, err := src.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return fail(fmt.Errorf("core: stream source: %w", err))
-		}
-		if len(batch) == 0 {
-			continue
-		}
-		ids := flow.Partition(batch, workers, 1)
-		for i := range batch {
-			ts := batch[i].Timestamp
-			if ts < lastTS {
-				return fail(fmt.Errorf("core: stream source is not timestamp sorted at packet %d", gidx))
-			}
-			lastTS = ts
-			w := int(ids[i])
-			pend[w] = append(pend[w], idxPacket{idx: gidx, p: batch[i]})
-			gidx++
-			if len(pend[w]) >= chunk {
-				send(w)
-			}
-		}
-		if cfg.Progress != nil {
-			cfg.Progress(gidx)
-		}
-	}
-	for w := range pend {
-		send(w)
-		close(chans[w])
-	}
-	wg.Wait()
-	if cfg.Progress != nil {
-		cfg.Progress(gidx)
-	}
-	return mergeShards(int(gidx), opts, shards, shared, cfg.Stats)
+	return p.Compress(src)
 }

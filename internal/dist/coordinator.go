@@ -8,27 +8,16 @@ import (
 	"net"
 	"os"
 	"sync"
-	"time"
 
 	"flowzip/internal/cluster"
 	"flowzip/internal/core"
 	"flowzip/internal/flow"
 )
 
-// Default protocol timing. Frame IO (small control messages) is quick;
-// waiting for a worker to compress its partition is not, so the result wait
-// gets its own, much longer budget.
-const (
-	// DefaultFrameTimeout bounds one control-frame read or write.
-	DefaultFrameTimeout = 30 * time.Second
-	// DefaultResultTimeout bounds the coordinator's wait for one shard
-	// result, and the worker's wait for its next assignment.
-	DefaultResultTimeout = 15 * time.Minute
-	// DefaultShardRetries is the total failures one shard may accumulate
-	// (worker died or reported an error) before the whole run is
-	// abandoned; a shard is re-queued after each failure but the last.
-	DefaultShardRetries = 3
-)
+// DefaultShardRetries is the historical name of the shard failure budget;
+// the knob now lives in NetConfig.Retries, shared with every other framed
+// endpoint.
+const DefaultShardRetries = DefaultRetries
 
 // CoordinatorConfig parameterizes a merge coordinator.
 type CoordinatorConfig struct {
@@ -43,18 +32,13 @@ type CoordinatorConfig struct {
 	// Empty means "127.0.0.1:0" (an ephemeral loopback port, for tests and
 	// single-machine runs).
 	ListenAddr string
-	// FrameTimeout bounds each control-frame read/write on a worker
-	// connection (0 = DefaultFrameTimeout).
-	FrameTimeout time.Duration
-	// ResultTimeout bounds the wait for one assigned shard's result
-	// (0 = DefaultResultTimeout). A worker that exceeds it is dropped and
-	// its shard re-queued.
-	ResultTimeout time.Duration
-	// ShardRetries caps the total failures a single shard may accumulate
-	// before Wait gives up: each failure but the last re-queues the shard,
-	// so ShardRetries=1 aborts on the first failure (0 =
-	// DefaultShardRetries).
-	ShardRetries int
+	// NetConfig supplies the shared connection knobs: FrameTimeout bounds
+	// each control-frame read/write, ResultTimeout bounds the wait for one
+	// assigned shard's result (a worker that exceeds it is dropped and its
+	// shard re-queued), and Retries caps the total failures a single shard
+	// may accumulate before Wait gives up — each failure but the last
+	// re-queues the shard, so Retries=1 aborts on the first failure.
+	NetConfig
 	// Shared, when non-nil, is the run-global template store the merge
 	// resolves shared-flagged shard state against
 	// (core.MergeShardResultsShared). It must be the same instance the
@@ -72,15 +56,7 @@ func (c *CoordinatorConfig) fillDefaults() {
 	if c.ListenAddr == "" {
 		c.ListenAddr = "127.0.0.1:0"
 	}
-	if c.FrameTimeout <= 0 {
-		c.FrameTimeout = DefaultFrameTimeout
-	}
-	if c.ResultTimeout <= 0 {
-		c.ResultTimeout = DefaultResultTimeout
-	}
-	if c.ShardRetries <= 0 {
-		c.ShardRetries = DefaultShardRetries
-	}
+	c.NetConfig.fillDefaults()
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -93,19 +69,15 @@ func (c *CoordinatorConfig) fillDefaults() {
 // failures per shard.
 type Coordinator struct {
 	cfg CoordinatorConfig
-	ln  net.Listener
+	srv *Server
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  []int // shard indices awaiting assignment
 	failures map[int]int
 	results  map[int]*core.ShardResult
-	open     map[net.Conn]struct{}
 	closed   bool
 	fatalErr error
-
-	acceptDone chan struct{}
-	conns      sync.WaitGroup
 }
 
 // NewCoordinator validates cfg, binds the listener and starts accepting
@@ -117,60 +89,30 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err := cfg.Opts.Validate(); err != nil {
 		return nil, err
 	}
-	cfg.fillDefaults()
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	if err := cfg.NetConfig.Validate(); err != nil {
+		return nil, err
 	}
+	cfg.fillDefaults()
 	c := &Coordinator{
-		cfg:        cfg,
-		ln:         ln,
-		failures:   make(map[int]int),
-		results:    make(map[int]*core.ShardResult),
-		open:       make(map[net.Conn]struct{}),
-		acceptDone: make(chan struct{}),
+		cfg:      cfg,
+		failures: make(map[int]int),
+		results:  make(map[int]*core.ShardResult),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < cfg.Shards; i++ {
 		c.pending = append(c.pending, i)
 	}
-	go c.acceptLoop()
+	srv, err := Serve(cfg.ListenAddr, c.serveWorker)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	}
+	c.srv = srv
 	return c, nil
 }
 
 // Addr returns the listener address workers should Dial — useful when
 // ListenAddr requested an ephemeral port.
-func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
-
-// acceptLoop admits workers until the listener closes.
-func (c *Coordinator) acceptLoop() {
-	defer close(c.acceptDone)
-	for {
-		conn, err := c.ln.Accept()
-		if err != nil {
-			return
-		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			conn.Close()
-			return
-		}
-		c.open[conn] = struct{}{}
-		c.mu.Unlock()
-		c.conns.Add(1)
-		go func() {
-			defer c.conns.Done()
-			defer func() {
-				conn.Close()
-				c.mu.Lock()
-				delete(c.open, conn)
-				c.mu.Unlock()
-			}()
-			c.serveWorker(conn)
-		}()
-	}
-}
+func (c *Coordinator) Addr() net.Addr { return c.srv.Addr() }
 
 // done reports (under mu) whether every shard has a result.
 func (c *Coordinator) doneLocked() bool { return len(c.results) == c.cfg.Shards }
@@ -205,7 +147,7 @@ func (c *Coordinator) requeue(shard int, cause error) {
 		return // completed concurrently; nothing to do
 	}
 	c.failures[shard]++
-	if c.failures[shard] >= c.cfg.ShardRetries {
+	if c.failures[shard] >= c.cfg.Retries {
 		if c.fatalErr == nil {
 			c.fatalErr = fmt.Errorf("dist: shard %d failed %d times, giving up: %w",
 				shard, c.failures[shard], cause)
@@ -372,26 +314,18 @@ func (c *Coordinator) Wait() (*core.Archive, error) {
 	return core.MergeShardResultsShared(results, c.cfg.Shared)
 }
 
-// shutdown closes the listener, wakes idle handlers and waits for every
-// connection goroutine to exit — after it returns nothing is left running.
-// force additionally closes open connections, unblocking handlers stuck in
-// connection IO; without it handlers finish their current exchange (on a
-// completed run that is exactly sending the final done frames — no handler
-// can be blocked waiting for a result then, because every shard already
-// has one).
+// shutdown wakes idle handlers and hands teardown to the shared server
+// core — after it returns nothing is left running. force additionally
+// closes open connections, unblocking handlers stuck in connection IO;
+// without it handlers finish their current exchange (on a completed run
+// that is exactly sending the final done frames — no handler can be blocked
+// waiting for a result then, because every shard already has one).
 func (c *Coordinator) shutdown(force bool) {
 	c.mu.Lock()
 	c.closed = true
 	c.cond.Broadcast()
-	if force {
-		for conn := range c.open {
-			conn.Close()
-		}
-	}
 	c.mu.Unlock()
-	c.ln.Close()
-	<-c.acceptDone
-	c.conns.Wait()
+	c.srv.Shutdown(force)
 }
 
 // Close aborts the run: it stops accepting workers, unblocks Wait with an

@@ -212,7 +212,7 @@ func TestCoordinatorReassignsDeadWorkersShard(t *testing.T) {
 	}
 	coord, err := NewCoordinator(CoordinatorConfig{
 		Shards: 2, Opts: core.DefaultOptions(),
-		ResultTimeout: 5 * time.Second,
+		NetConfig: NetConfig{ResultTimeout: 5 * time.Second},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +265,7 @@ func TestCoordinatorRetryExhaustion(t *testing.T) {
 	defer checkGoroutines(t)()
 	coord, err := NewCoordinator(CoordinatorConfig{
 		Shards: 2, Opts: core.DefaultOptions(),
-		ShardRetries: 2,
+		NetConfig: NetConfig{Retries: 2},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -299,7 +299,7 @@ func TestCoordinatorRejectsForeignResult(t *testing.T) {
 	tr := webTrace(41, 200)
 	coord, err := NewCoordinator(CoordinatorConfig{
 		Shards: 1, Opts: core.DefaultOptions(),
-		ResultTimeout: 5 * time.Second,
+		NetConfig: NetConfig{ResultTimeout: 5 * time.Second},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default protocol timing. Frame IO (small control messages) is quick;
+// waiting for the slow half of an exchange — a worker compressing its
+// partition, a capture client accumulating its next batch — is not, so that
+// wait gets its own, much longer budget.
+const (
+	// DefaultFrameTimeout bounds one control-frame read or write.
+	DefaultFrameTimeout = 30 * time.Second
+	// DefaultResultTimeout bounds the slow half of a protocol exchange: the
+	// coordinator's wait for one shard result, the worker's wait for its
+	// next assignment, and the ingestion daemon's wait for a session's next
+	// packet batch.
+	DefaultResultTimeout = 15 * time.Minute
+	// DefaultRetries is the total failures one unit of work (a shard, for
+	// the coordinator) may accumulate before the run is abandoned; the unit
+	// is re-queued after each failure but the last.
+	DefaultRetries = 3
+)
+
+// NetConfig is the shared connection-timing configuration of every framed-TCP
+// endpoint in the system: the merge coordinator, the compression worker and
+// the ingestion daemon's listener all consume the same three knobs instead of
+// each growing its own. The zero value selects the defaults above.
+type NetConfig struct {
+	// FrameTimeout bounds each control-frame read/write on a connection
+	// (0 = DefaultFrameTimeout).
+	FrameTimeout time.Duration
+	// ResultTimeout bounds the wait for the slow half of an exchange: a
+	// shard result (coordinator), the next assignment (worker), or the next
+	// packet batch of an idle session (daemon). 0 = DefaultResultTimeout.
+	ResultTimeout time.Duration
+	// Retries caps the total failures one unit of work may accumulate
+	// before the run gives up: each failure but the last re-queues the
+	// unit, so Retries=1 aborts on the first failure (0 = DefaultRetries).
+	// Endpoints without re-queueable work (workers, the daemon) ignore it.
+	Retries int
+}
+
+// fillDefaults resolves zero fields to the package defaults.
+func (c *NetConfig) fillDefaults() {
+	if c.FrameTimeout <= 0 {
+		c.FrameTimeout = DefaultFrameTimeout
+	}
+	if c.ResultTimeout <= 0 {
+		c.ResultTimeout = DefaultResultTimeout
+	}
+	if c.Retries <= 0 {
+		c.Retries = DefaultRetries
+	}
+}
+
+// Validate rejects negative knobs. Zero values are legal everywhere — they
+// select the documented defaults — so only configurations that could never
+// have been intended fail.
+func (c NetConfig) Validate() error {
+	if c.FrameTimeout < 0 {
+		return fmt.Errorf("dist: frame timeout %v must be >= 0", c.FrameTimeout)
+	}
+	if c.ResultTimeout < 0 {
+		return fmt.Errorf("dist: result timeout %v must be >= 0", c.ResultTimeout)
+	}
+	if c.Retries < 0 {
+		return fmt.Errorf("dist: retries %d must be >= 0", c.Retries)
+	}
+	return nil
+}

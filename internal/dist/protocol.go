@@ -5,17 +5,22 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"time"
 
 	"flowzip/internal/core"
 	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
 )
 
-// Coordinator/worker TCP protocol: a synchronous exchange of framed
-// messages over one connection per worker.
+// Framed TCP protocol shared by the merge coordinator and the ingestion
+// daemon: a synchronous exchange of framed messages over one connection per
+// peer.
 //
 //	frame := type byte, uvarint payload length, payload
+//
+// Coordinator/worker exchange (the distributed batch pipeline):
 //
 //	worker → coordinator:  hello   (uvarint protocol version)
 //	coordinator → worker:  assign  (uvarint shard index, count, partition
@@ -30,17 +35,37 @@ import (
 // After hello, the coordinator answers each completed exchange with the
 // next assign, so one worker may compress several shards; a worker that
 // disconnects mid-assignment has its shard re-queued for the survivors.
-
-// protoVersion is the protocol generation; a hello with a different version
-// is rejected so mixed deployments fail loudly at registration.
+//
+// Session exchange (the flowzipd ingestion daemon, internal/server):
+//
+//	client → daemon:  hello   (uvarint protocol version)
+//	client → daemon:  open    (tenant string, then the serialized Options)
+//	daemon → client:  openok  (uvarint session id)
+//	client → daemon:  packets (uvarint count, then the packet records)
+//	daemon → client:  ack     (uvarint cumulative packets accepted) — sent
+//	                  only after the batch is queued into the session's
+//	                  pipeline, so a backpressured pipeline stalls the ack
+//	                  and TCP pushes the stall back to the capture point
+//	client → daemon:  close   (empty) — finish the stream cleanly
+//	daemon → client:  closed  (session summary) — also sent unsolicited
+//	                  when the daemon drains on shutdown, so a mid-stream
+//	                  client learns its session was finalized early
+//	daemon → client:  fail    (uvarint 0, error string) — quota exceeded,
+//	                  invalid open, or a pipeline failure
 const protoVersion = 1
 
 const (
-	frameHello  = byte(1)
-	frameAssign = byte(2)
-	frameResult = byte(3)
-	frameFail   = byte(4)
-	frameDone   = byte(5)
+	frameHello   = byte(1)
+	frameAssign  = byte(2)
+	frameResult  = byte(3)
+	frameFail    = byte(4)
+	frameDone    = byte(5)
+	frameOpen    = byte(6)
+	frameOpenOK  = byte(7)
+	framePackets = byte(8)
+	frameAck     = byte(9)
+	frameClose   = byte(10)
+	frameClosed  = byte(11)
 )
 
 // maxFramePayload bounds a result frame so a corrupt peer cannot drive an
@@ -53,6 +78,11 @@ const maxFramePayload = 1 << 30
 // happens before any validation) can never make the coordinator allocate
 // more than this.
 const maxControlPayload = 1 << 12
+
+// maxPacketsPayload bounds a packets frame: far above any sane batch (a
+// 4096-packet batch encodes to well under 256 KiB) while keeping a corrupt
+// capture client from driving an arbitrary allocation.
+const maxPacketsPayload = 1 << 24
 
 // frameName renders a frame type for error messages.
 func frameName(t byte) string {
@@ -67,6 +97,18 @@ func frameName(t byte) string {
 		return "fail"
 	case frameDone:
 		return "done"
+	case frameOpen:
+		return "open"
+	case frameOpenOK:
+		return "openok"
+	case framePackets:
+		return "packets"
+	case frameAck:
+		return "ack"
+	case frameClose:
+		return "close"
+	case frameClosed:
+		return "closed"
 	}
 	return fmt.Sprintf("frame %#x", t)
 }
@@ -181,4 +223,192 @@ func decodeFail(payload []byte) (int, string, error) {
 		return 0, "", fmt.Errorf("dist: fail frame: %w", err)
 	}
 	return int(idx), string(s.b), nil
+}
+
+// MaxTenantLen bounds a tenant name on the wire; names also may not contain
+// path separators because they become archive directory names.
+const MaxTenantLen = 64
+
+// ValidTenant reports whether name is usable as a tenant identifier: it
+// names the per-tenant archive directory, so it must be non-empty, bounded
+// and free of path structure.
+func ValidTenant(name string) error {
+	if name == "" {
+		return fmt.Errorf("dist: empty tenant name")
+	}
+	if len(name) > MaxTenantLen {
+		return fmt.Errorf("dist: tenant name %d bytes long, max %d", len(name), MaxTenantLen)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("dist: tenant name %q may only contain [a-zA-Z0-9._-]", name)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("dist: tenant name %q is reserved", name)
+	}
+	return nil
+}
+
+// encodeOpen builds an open payload: the tenant name and the session's codec
+// options (the capture point is the source of truth for its own codec, the
+// daemon validates).
+func encodeOpen(tenant string, opts core.Options) []byte {
+	var w uvarintWriter
+	w.uvarint(uint64(len(tenant)))
+	w.buf.WriteString(tenant)
+	w.encodeOptions(opts)
+	return w.buf.Bytes()
+}
+
+func decodeOpen(payload []byte) (string, core.Options, error) {
+	s := &sectionReader{b: payload}
+	n, err := s.uvarint()
+	if err != nil {
+		return "", core.Options{}, fmt.Errorf("dist: open frame: %w", err)
+	}
+	if n > MaxTenantLen {
+		return "", core.Options{}, fmt.Errorf("dist: open frame tenant %d bytes long, max %d", n, MaxTenantLen)
+	}
+	name, err := s.bytes(n)
+	if err != nil {
+		return "", core.Options{}, fmt.Errorf("dist: open frame: %w", err)
+	}
+	tenant := string(name)
+	if err := ValidTenant(tenant); err != nil {
+		return "", core.Options{}, err
+	}
+	opts, err := s.decodeOptions()
+	if err != nil {
+		return "", core.Options{}, fmt.Errorf("dist: open frame options: %w", err)
+	}
+	return tenant, opts, nil
+}
+
+// appendPacket serializes one packet record. Timestamps travel at full
+// nanosecond precision — the byte-identity invariant extends to per-tenant
+// archives, so the daemon must compress exactly the durations the capture
+// point measured.
+func (w *uvarintWriter) appendPacket(p *pkt.Packet) {
+	w.uvarint(uint64(p.Timestamp))
+	w.uvarint(uint64(p.SrcIP))
+	w.uvarint(uint64(p.DstIP))
+	w.uvarint(uint64(p.SrcPort))
+	w.uvarint(uint64(p.DstPort))
+	w.uvarint(uint64(p.Proto))
+	w.uvarint(uint64(p.Flags))
+	w.uvarint(uint64(p.Seq))
+	w.uvarint(uint64(p.Ack))
+	w.uvarint(uint64(p.Window))
+	w.uvarint(uint64(p.TTL))
+	w.uvarint(uint64(p.IPID))
+	w.uvarint(uint64(p.PayloadLen))
+}
+
+// encodePackets builds a packets payload from one source batch.
+func encodePackets(batch []pkt.Packet) []byte {
+	var w uvarintWriter
+	w.uvarint(uint64(len(batch)))
+	for i := range batch {
+		w.appendPacket(&batch[i])
+	}
+	return w.buf.Bytes()
+}
+
+// decodePackets parses a packets payload into a freshly allocated batch (the
+// session pipeline consumes batches asynchronously, so the buffer cannot be
+// reused across frames).
+func decodePackets(payload []byte) ([]pkt.Packet, error) {
+	s := &sectionReader{b: payload}
+	n, err := s.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dist: packets frame: %w", err)
+	}
+	// Each record is at least 13 varint bytes; reject counts the payload
+	// cannot possibly hold before allocating.
+	if n > uint64(len(s.b)) {
+		return nil, fmt.Errorf("dist: packets frame declares %d records in %d bytes", n, len(s.b))
+	}
+	batch := make([]pkt.Packet, n)
+	for i := range batch {
+		p := &batch[i]
+		var raw [13]uint64
+		for j := range raw {
+			v, err := s.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("dist: packets frame record %d: %w", i, err)
+			}
+			raw[j] = v
+		}
+		if raw[0] > math.MaxInt64 {
+			return nil, fmt.Errorf("dist: packets frame record %d: timestamp overflows", i)
+		}
+		p.Timestamp = time.Duration(raw[0])
+		p.SrcIP = pkt.IPv4(raw[1])
+		p.DstIP = pkt.IPv4(raw[2])
+		p.SrcPort = uint16(raw[3])
+		p.DstPort = uint16(raw[4])
+		p.Proto = uint8(raw[5])
+		p.Flags = pkt.TCPFlags(raw[6])
+		p.Seq = uint32(raw[7])
+		p.Ack = uint32(raw[8])
+		p.Window = uint16(raw[9])
+		p.TTL = uint8(raw[10])
+		p.IPID = uint16(raw[11])
+		p.PayloadLen = uint16(raw[12])
+	}
+	if len(s.b) != 0 {
+		return nil, fmt.Errorf("dist: packets frame has %d trailing bytes", len(s.b))
+	}
+	return batch, nil
+}
+
+// SessionSummary is the closed-frame payload: what one ingestion session
+// produced. The daemon reports it on a clean close and, with Drained set,
+// when graceful shutdown finalized the session early.
+type SessionSummary struct {
+	Packets      int64 // packets accepted into the session pipeline
+	Flows        int64 // flows across all archives written
+	Archives     int64 // rotated archive segments written
+	ArchiveBytes int64 // encoded bytes across those segments
+	Drained      bool  // daemon shut down before the client closed
+}
+
+func encodeSummary(s SessionSummary) []byte {
+	var w uvarintWriter
+	w.uvarint(uint64(s.Packets))
+	w.uvarint(uint64(s.Flows))
+	w.uvarint(uint64(s.Archives))
+	w.uvarint(uint64(s.ArchiveBytes))
+	if s.Drained {
+		w.uvarint(1)
+	} else {
+		w.uvarint(0)
+	}
+	return w.buf.Bytes()
+}
+
+func decodeSummary(payload []byte) (SessionSummary, error) {
+	s := &sectionReader{b: payload}
+	var out SessionSummary
+	for _, dst := range []*int64{&out.Packets, &out.Flows, &out.Archives, &out.ArchiveBytes} {
+		v, err := s.uvarint()
+		if err != nil {
+			return out, fmt.Errorf("dist: closed frame: %w", err)
+		}
+		if v > math.MaxInt64 {
+			return out, fmt.Errorf("dist: closed frame count %d overflows", v)
+		}
+		*dst = int64(v)
+	}
+	drained, err := s.uvarint()
+	if err != nil {
+		return out, fmt.Errorf("dist: closed frame: %w", err)
+	}
+	out.Drained = drained != 0
+	return out, nil
 }

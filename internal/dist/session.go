@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"flowzip/internal/core"
+	"flowzip/internal/pkt"
+)
+
+// SessionConn wraps one framed TCP connection speaking the session exchange
+// (see the protocol comment above frameOpen), from either end: the ingestion
+// daemon (internal/server) drives the Accept/Next/Send* half, its capture
+// clients the Open/Push/Finish half. All frame IO runs under the NetConfig
+// deadlines, so neither peer can wedge the other indefinitely.
+type SessionConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	nc   NetConfig
+}
+
+// NewSessionConn wraps an established connection. nc's zero fields resolve to
+// the package defaults.
+func NewSessionConn(conn net.Conn, nc NetConfig) *SessionConn {
+	nc.fillDefaults()
+	return &SessionConn{conn: conn, br: bufio.NewReader(conn), nc: nc}
+}
+
+// Close releases the underlying connection.
+func (c *SessionConn) Close() error { return c.conn.Close() }
+
+// RemoteAddr reports the peer, for log lines.
+func (c *SessionConn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// --- daemon half ---
+
+// Accept performs the server half of the session handshake: it consumes the
+// hello and open frames and returns the requested tenant and codec options.
+// The caller decides admission (quotas, option validation) and answers with
+// SendOpenOK or SendFail.
+func (c *SessionConn) Accept() (tenant string, opts core.Options, err error) {
+	typ, payload, err := readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
+	if err != nil {
+		return "", core.Options{}, fmt.Errorf("dist: session hello: %w", err)
+	}
+	if typ != frameHello {
+		return "", core.Options{}, fmt.Errorf("dist: session opened with %s, want hello", frameName(typ))
+	}
+	s := &sectionReader{b: payload}
+	if v, err := s.uvarint(); err != nil || v != protoVersion {
+		return "", core.Options{}, fmt.Errorf("dist: session protocol version %d, want %d", v, protoVersion)
+	}
+	typ, payload, err = readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
+	if err != nil {
+		return "", core.Options{}, fmt.Errorf("dist: session open: %w", err)
+	}
+	if typ != frameOpen {
+		return "", core.Options{}, fmt.Errorf("dist: session sent %s, want open", frameName(typ))
+	}
+	return decodeOpen(payload)
+}
+
+// SendOpenOK admits the session under the given id.
+func (c *SessionConn) SendOpenOK(id uint64) error {
+	var w uvarintWriter
+	w.uvarint(id)
+	return writeFrame(c.conn, c.nc.FrameTimeout, frameOpenOK, w.buf.Bytes())
+}
+
+// SendFail rejects the session or reports a mid-stream failure; the daemon
+// hangs up afterwards.
+func (c *SessionConn) SendFail(msg string) error {
+	return writeFrame(c.conn, c.nc.FrameTimeout, frameFail, encodeFail(0, msg))
+}
+
+// SendAck acknowledges the cumulative packet count accepted so far. The
+// daemon sends it only after the batch is queued into the session pipeline,
+// so a backpressured pipeline stalls the ack stream.
+func (c *SessionConn) SendAck(total int64) error {
+	var w uvarintWriter
+	w.uvarint(uint64(total))
+	return writeFrame(c.conn, c.nc.FrameTimeout, frameAck, w.buf.Bytes())
+}
+
+// SendClosed reports the session summary: the answer to a clean close, or —
+// with s.Drained set — the daemon's unsolicited finalization notice during
+// graceful shutdown.
+func (c *SessionConn) SendClosed(s SessionSummary) error {
+	return writeFrame(c.conn, c.nc.FrameTimeout, frameClosed, encodeSummary(s))
+}
+
+// SessionEvent is one client frame as seen by the daemon: a packet batch, or
+// the clean end of the stream.
+type SessionEvent struct {
+	Batch []pkt.Packet // freshly allocated; nil on Close
+	Close bool
+}
+
+// Next waits (up to ResultTimeout — an idle capture point may legitimately
+// sit quiet between batches) for the client's next packets or close frame.
+func (c *SessionConn) Next() (SessionEvent, error) {
+	typ, payload, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxPacketsPayload)
+	if err != nil {
+		return SessionEvent{}, err
+	}
+	switch typ {
+	case framePackets:
+		batch, err := decodePackets(payload)
+		if err != nil {
+			return SessionEvent{}, err
+		}
+		return SessionEvent{Batch: batch}, nil
+	case frameClose:
+		return SessionEvent{Close: true}, nil
+	default:
+		return SessionEvent{}, fmt.Errorf("dist: unexpected %s frame in session", frameName(typ))
+	}
+}
+
+// --- client half ---
+
+// Open performs the client half of the handshake — hello, then open — and
+// waits for admission. A fail frame becomes the returned error.
+func (c *SessionConn) Open(tenant string, opts core.Options) (id uint64, err error) {
+	var hello uvarintWriter
+	hello.uvarint(protoVersion)
+	if err := writeFrame(c.conn, c.nc.FrameTimeout, frameHello, hello.buf.Bytes()); err != nil {
+		return 0, err
+	}
+	if err := writeFrame(c.conn, c.nc.FrameTimeout, frameOpen, encodeOpen(tenant, opts)); err != nil {
+		return 0, err
+	}
+	typ, payload, err := readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
+	if err != nil {
+		return 0, fmt.Errorf("dist: session admission: %w", err)
+	}
+	switch typ {
+	case frameOpenOK:
+		s := &sectionReader{b: payload}
+		return s.uvarint()
+	case frameFail:
+		_, msg, _ := decodeFail(payload)
+		return 0, fmt.Errorf("dist: session rejected: %s", msg)
+	default:
+		return 0, fmt.Errorf("dist: unexpected %s frame, want openok", frameName(typ))
+	}
+}
+
+// Push sends one packet batch and waits for the daemon's answer. It returns
+// the daemon's cumulative ack count; when the daemon finalized the session
+// early (graceful drain), it returns the summary instead — the caller should
+// stop streaming.
+func (c *SessionConn) Push(batch []pkt.Packet) (acked int64, drained *SessionSummary, err error) {
+	if err := writeFrame(c.conn, c.nc.ResultTimeout, framePackets, encodePackets(batch)); err != nil {
+		return 0, nil, err
+	}
+	return c.awaitAck()
+}
+
+// awaitAck reads the daemon's response to a packets frame: ack, an early
+// closed (drain), or fail.
+func (c *SessionConn) awaitAck() (int64, *SessionSummary, error) {
+	typ, payload, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxControlPayload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("dist: session ack: %w", err)
+	}
+	switch typ {
+	case frameAck:
+		s := &sectionReader{b: payload}
+		n, err := s.uvarint()
+		if err != nil {
+			return 0, nil, fmt.Errorf("dist: ack frame: %w", err)
+		}
+		return int64(n), nil, nil
+	case frameClosed:
+		sum, err := decodeSummary(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return sum.Packets, &sum, nil
+	case frameFail:
+		_, msg, _ := decodeFail(payload)
+		return 0, nil, fmt.Errorf("dist: session failed: %s", msg)
+	default:
+		return 0, nil, fmt.Errorf("dist: unexpected %s frame, want ack", frameName(typ))
+	}
+}
+
+// Finish ends the stream cleanly and returns the daemon's session summary.
+// The daemon may have drained first; the summary's Drained flag says which.
+func (c *SessionConn) Finish() (SessionSummary, error) {
+	if err := writeFrame(c.conn, c.nc.FrameTimeout, frameClose, nil); err != nil {
+		return SessionSummary{}, err
+	}
+	typ, payload, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxControlPayload)
+	if err != nil {
+		return SessionSummary{}, fmt.Errorf("dist: session close: %w", err)
+	}
+	switch typ {
+	case frameClosed:
+		return decodeSummary(payload)
+	case frameFail:
+		_, msg, _ := decodeFail(payload)
+		return SessionSummary{}, fmt.Errorf("dist: session failed: %s", msg)
+	default:
+		return SessionSummary{}, fmt.Errorf("dist: unexpected %s frame, want closed", frameName(typ))
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net"
 	"syscall"
-	"time"
 
 	"flowzip/internal/cluster"
 	"flowzip/internal/core"
@@ -19,13 +18,12 @@ type WorkerConfig struct {
 	// worker must stream the same packets in the same order — typically the
 	// same capture file replicated to (or mounted on) each machine.
 	Source func() (core.PacketSource, error)
-	// FrameTimeout bounds one control-frame read/write
-	// (0 = DefaultFrameTimeout).
-	FrameTimeout time.Duration
-	// AssignTimeout bounds the wait for the next assignment
-	// (0 = DefaultResultTimeout): while other workers compress, an idle
-	// worker may legitimately wait a while for a re-queued shard.
-	AssignTimeout time.Duration
+	// NetConfig supplies the shared connection knobs: FrameTimeout bounds
+	// one control-frame read/write and ResultTimeout bounds the wait for
+	// the next assignment — while other workers compress, an idle worker
+	// may legitimately wait a while for a re-queued shard. Retries is
+	// unused by workers (the coordinator owns re-queueing).
+	NetConfig
 	// Shared, when non-nil, is the run-global template store this worker's
 	// shards consult (core.CompressShardSourceShared): shard state shrinks
 	// to overflow-only vectors plus global ids into the store. The store
@@ -42,12 +40,10 @@ func (c *WorkerConfig) fillDefaults() error {
 	if c.Source == nil {
 		return errors.New("dist: worker needs a Source")
 	}
-	if c.FrameTimeout <= 0 {
-		c.FrameTimeout = DefaultFrameTimeout
+	if err := c.NetConfig.Validate(); err != nil {
+		return err
 	}
-	if c.AssignTimeout <= 0 {
-		c.AssignTimeout = DefaultResultTimeout
-	}
+	c.NetConfig.fillDefaults()
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -95,7 +91,7 @@ func (w *Worker) Close() error { return w.conn.Close() }
 func (w *Worker) Run() error {
 	defer w.conn.Close()
 	for {
-		typ, payload, err := readFrame(w.conn, w.br, w.cfg.AssignTimeout, maxControlPayload)
+		typ, payload, err := readFrame(w.conn, w.br, w.cfg.ResultTimeout, maxControlPayload)
 		if err != nil {
 			if w.exchanges > 0 && isDisconnect(err) {
 				w.cfg.Logf("dist: coordinator hung up after %d shards; assuming run complete", w.exchanges)
@@ -149,7 +145,7 @@ func (w *Worker) compress(a assignment) error {
 	// The blob can be large and the coordinator may be busy with other
 	// workers; give the push the assignment budget, not the control-frame
 	// one.
-	return writeFrame(w.conn, w.cfg.AssignTimeout, frameResult, blob.buf.Bytes())
+	return writeFrame(w.conn, w.cfg.ResultTimeout, frameResult, blob.buf.Bytes())
 }
 
 // closeSource closes sources that need it (pcap files); in-memory sources

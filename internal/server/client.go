@@ -1,0 +1,114 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"flowzip/internal/core"
+	"flowzip/internal/dist"
+	"flowzip/internal/pkt"
+)
+
+// ErrSessionDrained reports that the daemon finalized the session early —
+// graceful shutdown flushed everything acked so far into archives. The
+// client's Close still returns the summary; only unacked packets were lost.
+var ErrSessionDrained = errors.New("server: session drained by daemon shutdown")
+
+// Client is one capture stream into a flowzipd daemon: dial, Send batches
+// (each Send blocks until the daemon acks, so daemon backpressure propagates
+// to the capture point), then Close for the session summary.
+type Client struct {
+	sc      *dist.SessionConn
+	id      uint64
+	drained *dist.SessionSummary
+}
+
+// DialSession connects to a daemon and opens a session under tenant. The
+// daemon validates opts and applies its quotas; a rejection surfaces here.
+func DialSession(addr, tenant string, opts core.Options, nc dist.NetConfig) (*Client, error) {
+	to := nc.FrameTimeout
+	if to <= 0 {
+		to = dist.DefaultFrameTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, to)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial daemon %s: %w", addr, err)
+	}
+	sc := dist.NewSessionConn(conn, nc)
+	id, err := sc.Open(tenant, opts)
+	if err != nil {
+		sc.Close()
+		return nil, err
+	}
+	return &Client{sc: sc, id: id}, nil
+}
+
+// SessionID returns the daemon-assigned session id — the `s<id>-<seq>.fz`
+// prefix of the session's archive segments.
+func (c *Client) SessionID() uint64 { return c.id }
+
+// Send pushes one packet batch and waits for the ack. It returns
+// ErrSessionDrained when the daemon finalized the session mid-stream; the
+// caller should stop sending and Close.
+func (c *Client) Send(batch []pkt.Packet) error {
+	if c.drained != nil {
+		return ErrSessionDrained
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	_, drained, err := c.sc.Push(batch)
+	if err != nil {
+		return err
+	}
+	if drained != nil {
+		c.drained = drained
+		return ErrSessionDrained
+	}
+	return nil
+}
+
+// Close finishes the session and returns the daemon's summary. After a
+// drain notice the stored summary is returned without another exchange.
+func (c *Client) Close() (dist.SessionSummary, error) {
+	defer c.sc.Close()
+	if c.drained != nil {
+		return *c.drained, nil
+	}
+	return c.sc.Finish()
+}
+
+// Abort drops the connection without the closing exchange — the daemon's
+// disconnect path flushes what was acked.
+func (c *Client) Abort() error { return c.sc.Close() }
+
+// Ingest streams every batch of src into a daemon session under tenant and
+// returns the daemon's summary. When the daemon drains mid-stream the
+// summary of what was flushed is returned along with ErrSessionDrained.
+func Ingest(addr, tenant string, src core.PacketSource, opts core.Options, nc dist.NetConfig) (dist.SessionSummary, error) {
+	c, err := DialSession(addr, tenant, opts, nc)
+	if err != nil {
+		return dist.SessionSummary{}, err
+	}
+	for {
+		batch, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			c.Abort()
+			return dist.SessionSummary{}, fmt.Errorf("server: ingest source: %w", err)
+		}
+		if err := c.Send(batch); err != nil {
+			if errors.Is(err, ErrSessionDrained) {
+				sum, _ := c.Close()
+				return sum, ErrSessionDrained
+			}
+			c.Abort()
+			return dist.SessionSummary{}, err
+		}
+	}
+	return c.Close()
+}

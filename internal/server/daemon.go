@@ -1,0 +1,429 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"flowzip/internal/core"
+	"flowzip/internal/dist"
+	"flowzip/internal/pkt"
+)
+
+// Quotas bounds what the daemon's tenants may consume. Zero fields are
+// unlimited (resident packets fall back to the pipeline default).
+type Quotas struct {
+	// MaxSessions caps concurrently open sessions across all tenants; an
+	// open beyond it is rejected with a fail frame.
+	MaxSessions int
+	// MaxResident bounds the packets resident inside each session's
+	// compression pipeline (core.PipelineConfig.MaxResident): the knob that
+	// turns a fast client into a stalled ack stream instead of unbounded
+	// daemon memory. 0 = core.DefaultMaxResident.
+	MaxResident int
+	// MaxArchiveBytes caps the encoded archive bytes one tenant may
+	// accumulate across the daemon's lifetime; a segment that would exceed
+	// it fails the session before the segment is written.
+	MaxArchiveBytes int64
+}
+
+// Rotation cuts a session's packet stream into archive segments. Zero fields
+// disable that boundary; with both zero a session produces exactly one
+// archive, written when it ends.
+type Rotation struct {
+	// MaxPackets starts a new segment after this many packets, splitting
+	// mid-batch when needed, so segment boundaries are exact.
+	MaxPackets int64
+	// MaxAge starts a new segment when the current one has been open this
+	// long. The boundary is checked as batches arrive — an idle session
+	// rotates on its next batch, not on a timer.
+	MaxAge time.Duration
+}
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// ListenAddr is the TCP address to accept capture sessions on, e.g.
+	// ":9100". Empty means "127.0.0.1:0" (ephemeral loopback, for tests).
+	ListenAddr string
+	// MetricsAddr, when non-empty, serves the Prometheus text endpoint
+	// /metrics on this address.
+	MetricsAddr string
+	// Dir is the archive root: each tenant's segments land in Dir/<tenant>/
+	// as plain flowzip archives plus .fzmeta sidecars. Required.
+	Dir string
+	// Workers is the per-session pipeline shard count, in
+	// [0, flow.MaxShards]; 0 = one per CPU. Sessions run concurrently, so a
+	// loaded daemon usually wants a small count here.
+	Workers int
+	// SharedTemplates enables the shared template snapshot inside each
+	// session's pipeline (archive bytes are identical either way).
+	SharedTemplates bool
+	// Net supplies the shared connection knobs (see dist.NetConfig): the
+	// same struct the coordinator and workers consume. Retries is unused.
+	Net dist.NetConfig
+	// Quotas bounds tenant consumption; Rotation cuts session streams into
+	// archive segments.
+	Quotas   Quotas
+	Rotation Rotation
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) validate() error {
+	if c.Dir == "" {
+		return errors.New("server: daemon needs an archive directory (Dir)")
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.Quotas.MaxSessions < 0 {
+		return fmt.Errorf("server: max sessions %d must be >= 0", c.Quotas.MaxSessions)
+	}
+	if c.Quotas.MaxArchiveBytes < 0 {
+		return fmt.Errorf("server: max archive bytes %d must be >= 0", c.Quotas.MaxArchiveBytes)
+	}
+	if c.Rotation.MaxPackets < 0 {
+		return fmt.Errorf("server: rotation packets %d must be >= 0", c.Rotation.MaxPackets)
+	}
+	if c.Rotation.MaxAge < 0 {
+		return fmt.Errorf("server: rotation age %v must be >= 0", c.Rotation.MaxAge)
+	}
+	// Workers and MaxResident share the pipeline's validation; surface the
+	// error at daemon construction, not at first session.
+	_, err := core.NewPipeline(core.DefaultOptions(), core.PipelineConfig{
+		Workers: c.Workers, MaxResident: c.Quotas.MaxResident,
+	})
+	return err
+}
+
+// Daemon is the long-lived multi-tenant ingestion service: it accepts many
+// concurrent capture sessions over the framed TCP protocol, runs one
+// compression pipeline per session, and writes each tenant's archives under
+// its own directory. Archives are byte-for-byte identical to a serial
+// Compress over the same packets — the daemon adds scheduling, rotation and
+// quotas, never different bytes.
+type Daemon struct {
+	cfg     Config
+	metrics *Metrics
+	srv     *dist.Server
+
+	maddr net.Addr
+	mstop func()
+
+	drain     chan struct{}
+	drainOnce sync.Once
+
+	mu          sync.Mutex
+	sessions    int
+	nextID      uint64
+	tenantBytes map[string]int64
+}
+
+// New validates cfg, creates the archive root, binds the listeners and starts
+// accepting sessions. The caller must end with Shutdown or Close.
+func New(cfg Config) (*Daemon, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: archive root: %w", err)
+	}
+	d := &Daemon{
+		cfg:         cfg,
+		metrics:     newMetrics(),
+		drain:       make(chan struct{}),
+		tenantBytes: make(map[string]int64),
+	}
+	if cfg.MetricsAddr != "" {
+		maddr, mstop, err := serveMetrics(cfg.MetricsAddr, d.metrics)
+		if err != nil {
+			return nil, err
+		}
+		d.maddr, d.mstop = maddr, mstop
+	}
+	srv, err := dist.Serve(cfg.ListenAddr, d.handle)
+	if err != nil {
+		if d.mstop != nil {
+			d.mstop()
+		}
+		return nil, err
+	}
+	d.srv = srv
+	return d, nil
+}
+
+// Addr returns the session listener address clients should dial.
+func (d *Daemon) Addr() net.Addr { return d.srv.Addr() }
+
+// MetricsAddr returns the metrics endpoint address, or nil when disabled.
+func (d *Daemon) MetricsAddr() net.Addr { return d.maddr }
+
+// Metrics exposes the daemon's counters — the same values /metrics renders.
+func (d *Daemon) Metrics() *Metrics { return d.metrics }
+
+// ActiveSessions reports the sessions currently open.
+func (d *Daemon) ActiveSessions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sessions
+}
+
+// Shutdown drains the daemon gracefully: the listener closes, every open
+// session is finalized early — its pending packets compressed, its archive
+// segments flushed, its client told with a Drained summary — and the metrics
+// endpoint stops. When ctx expires first, the remaining connections are
+// closed forcibly and ctx's error is returned; either way, no daemon
+// goroutine is left running when Shutdown returns.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.drainOnce.Do(func() { close(d.drain) })
+	done := make(chan struct{})
+	go func() {
+		d.srv.Shutdown(false)
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		d.srv.Shutdown(true)
+		<-done
+		err = ctx.Err()
+	}
+	if d.mstop != nil {
+		d.mstop()
+	}
+	return err
+}
+
+// Close tears the daemon down immediately: open connections are closed, but
+// each session's already-queued packets are still compressed and flushed
+// (the pipeline finalizes when its feed closes).
+func (d *Daemon) Close() error {
+	d.drainOnce.Do(func() { close(d.drain) })
+	d.srv.Shutdown(true)
+	if d.mstop != nil {
+		d.mstop()
+	}
+	return nil
+}
+
+// handle serves one capture connection end to end. It runs on the dist.Server
+// handler goroutine; the Server closes the conn when it returns.
+func (d *Daemon) handle(conn net.Conn) {
+	sc := dist.NewSessionConn(conn, d.cfg.Net)
+	tenant, opts, err := sc.Accept()
+	if err != nil {
+		d.metrics.SessionsRejected.Add(1)
+		d.cfg.Logf("server: %s rejected: %v", conn.RemoteAddr(), err)
+		return
+	}
+	s, err := d.admit(tenant, opts)
+	if err != nil {
+		d.metrics.SessionsRejected.Add(1)
+		d.cfg.Logf("server: %s (tenant %s) rejected: %v", conn.RemoteAddr(), tenant, err)
+		_ = sc.SendFail(err.Error())
+		return
+	}
+	defer d.release(s)
+	if err := sc.SendOpenOK(s.id); err != nil {
+		s.endReason = ReasonDisconnect
+		close(s.batches)
+		<-s.done
+		return
+	}
+	d.cfg.Logf("server: session %d open: tenant %s from %s", s.id, tenant, conn.RemoteAddr())
+	d.serveSession(sc, s)
+}
+
+// admit applies the admission checks and registers a new session, starting
+// its pipeline goroutine. The returned session must be released.
+func (d *Daemon) admit(tenant string, opts core.Options) (*session, error) {
+	select {
+	case <-d.drain:
+		return nil, errors.New("server: daemon is draining")
+	default:
+	}
+	stats := &core.ParallelStats{}
+	pipe, err := core.NewPipeline(opts, core.PipelineConfig{
+		Workers:         d.cfg.Workers,
+		SharedTemplates: d.cfg.SharedTemplates,
+		MaxResident:     d.cfg.Quotas.MaxResident,
+		Stats:           stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if q := d.cfg.Quotas.MaxSessions; q > 0 && d.sessions >= q {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("server: session quota %d reached", q)
+	}
+	if q := d.cfg.Quotas.MaxArchiveBytes; q > 0 && d.tenantBytes[tenant] >= q {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("server: tenant %s archive byte quota %d exhausted", tenant, q)
+	}
+	d.sessions++
+	d.nextID++
+	id := d.nextID
+	d.mu.Unlock()
+
+	if err := os.MkdirAll(filepath.Join(d.cfg.Dir, tenant), 0o755); err != nil {
+		d.mu.Lock()
+		d.sessions--
+		d.mu.Unlock()
+		return nil, fmt.Errorf("server: tenant directory: %w", err)
+	}
+
+	batches := make(chan []pkt.Packet)
+	s := &session{
+		id:      id,
+		tenant:  tenant,
+		pipe:    pipe,
+		stats:   stats,
+		batches: batches,
+		src: &segmentSource{
+			in:         batches,
+			maxPackets: d.cfg.Rotation.MaxPackets,
+			maxAge:     d.cfg.Rotation.MaxAge,
+		},
+		done:   make(chan struct{}),
+		failed: make(chan struct{}),
+	}
+	d.metrics.SessionsStarted.Add(1)
+	d.metrics.SessionsActive.Add(1)
+	go d.runSession(s)
+	return s, nil
+}
+
+// release deregisters a finished session.
+func (d *Daemon) release(s *session) {
+	d.mu.Lock()
+	d.sessions--
+	d.mu.Unlock()
+	d.metrics.SessionsActive.Add(-1)
+}
+
+// frameEvent is one reader-goroutine observation: a batch, a clean close, or
+// the connection dying.
+type frameEvent struct {
+	batch []pkt.Packet
+	close bool
+	err   error
+}
+
+// serveSession runs the accept loop of one admitted session: a reader
+// goroutine turns connection frames into events, the loop feeds batches into
+// the session pipeline (acking only after the enqueue, so a backpressured
+// pipeline stalls the client) and watches for drain and pipeline failure.
+func (d *Daemon) serveSession(sc *dist.SessionConn, s *session) {
+	frames := make(chan frameEvent)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			ev, err := sc.Next()
+			fe := frameEvent{batch: ev.Batch, close: ev.Close, err: err}
+			select {
+			case frames <- fe:
+			case <-stop:
+				return
+			}
+			if err != nil || ev.Close {
+				return
+			}
+		}
+	}()
+
+	var total int64
+	end := ReasonDisconnect
+loop:
+	for {
+		select {
+		case fe := <-frames:
+			switch {
+			case fe.err != nil:
+				end = ReasonDisconnect
+				break loop
+			case fe.close:
+				end = ReasonClose
+				break loop
+			case len(fe.batch) == 0:
+				continue
+			}
+			select {
+			case s.batches <- fe.batch:
+			case <-s.failed:
+				end = reasonError
+				break loop
+			}
+			total += int64(len(fe.batch))
+			d.metrics.Batches.Add(1)
+			d.metrics.Packets.Add(int64(len(fe.batch)))
+			if err := sc.SendAck(total); err != nil {
+				end = ReasonDisconnect
+				break loop
+			}
+		case <-s.failed:
+			end = reasonError
+			break loop
+		case <-d.drain:
+			end = ReasonDrain
+			break loop
+		}
+	}
+
+	s.endReason = end
+	close(s.batches)
+	<-s.done
+
+	switch {
+	case s.pipeErr != nil:
+		d.metrics.SessionsFailed.Add(1)
+		d.cfg.Logf("server: session %d failed: %v", s.id, s.pipeErr)
+		_ = sc.SendFail(s.pipeErr.Error())
+	case end == ReasonClose:
+		d.metrics.SessionsCompleted.Add(1)
+		d.cfg.Logf("server: session %d closed: %d packets, %d archives, %d bytes",
+			s.id, s.summary.Packets, s.summary.Archives, s.summary.ArchiveBytes)
+		_ = sc.SendClosed(s.summary)
+	case end == ReasonDrain:
+		d.metrics.SessionsDrained.Add(1)
+		sum := s.summary
+		sum.Drained = true
+		d.cfg.Logf("server: session %d drained: %d packets flushed", s.id, sum.Packets)
+		if sc.SendClosed(sum) == nil {
+			// Linger until the client acknowledges the drain by hanging up
+			// (or sending close): returning immediately would close the conn
+			// with the client's in-flight frames unread, which can reset the
+			// connection before the drain notice is delivered.
+			grace := d.cfg.Net.FrameTimeout
+			if grace <= 0 {
+				grace = dist.DefaultFrameTimeout
+			}
+			timer := time.NewTimer(grace)
+			defer timer.Stop()
+		linger:
+			for {
+				select {
+				case fe := <-frames:
+					if fe.err != nil || fe.close {
+						break linger
+					}
+				case <-timer.C:
+					break linger
+				}
+			}
+		}
+	default: // client went away mid-stream; segments up to here are flushed
+		d.metrics.SessionsFailed.Add(1)
+		d.cfg.Logf("server: session %d disconnected after %d packets", s.id, total)
+	}
+}

@@ -5,8 +5,10 @@
 //
 //	flowzip compress  -i web.tsh -o web.fz [-shortmax 50] [-limit 2] [-workers 8] [-shared-templates]
 //	flowzip compress  -i big.pcap -o big.fz -stream [-maxresident N] [-progress]
+//	flowzip compress  -i web.tsh -o web.fz -index [-index-group 256]
 //	flowzip compress  -i web.tsh -o web.fz [-cpuprofile cpu.out] [-memprofile mem.out]
-//	flowzip decompress -i web.fz -o back.tsh
+//	flowzip decompress -i web.fz -o back.tsh [-workers 4]
+//	flowzip extract   -i web.fz -o sub.tsh -prefix 10.1.0.0/16 [-from 2s] [-to 10s]
 //	flowzip inspect   -i web.fz            (also reads .fzshard shard files)
 //	flowzip compare   -i web.tsh
 //
@@ -24,6 +26,14 @@
 // -stream reads the input incrementally — a timestamp-sorted capture of any
 // size compresses in bounded memory, with -maxresident capping the packets
 // resident in the pipeline.
+//
+// -index appends a seekable footer index (a v2 archive) mapping 5-tuple
+// prefixes and time ranges to flow groups. An indexed archive decodes
+// everywhere a v1 archive does, and additionally serves the extract verb:
+// extract opens the archive without reading the flow body and decodes only
+// the groups matching a client-address prefix and/or a time window, printing
+// how many bytes it touched versus a full decode. decompress -workers splits
+// the regeneration across CPUs; the output is byte-identical to -workers 1.
 //
 // The distributed verbs split the same work across processes or machines:
 // shard compresses one 5-tuple partition of a trace into a serializable
@@ -47,6 +57,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +66,7 @@ import (
 	"flowzip/internal/core"
 	"flowzip/internal/dist"
 	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
 	"flowzip/internal/server"
 	"flowzip/internal/stats"
 	"flowzip/internal/trace"
@@ -72,6 +84,8 @@ func main() {
 		runCompress(args)
 	case "decompress":
 		runDecompress(args)
+	case "extract":
+		runExtract(args)
 	case "inspect":
 		runInspect(args)
 	case "compare":
@@ -99,6 +113,7 @@ func usage() {
 commands:
   compress    compress a trace (.tsh/.pcap) into a flowzip archive
   decompress  regenerate a synthetic trace from an archive
+  extract     decode only the flows matching a prefix/time filter (indexed archives)
   inspect     print archive, .fzshard or .fzmeta statistics
   compare     run all baseline compressors on a trace
   synth       generate a new trace from an archive's traffic model
@@ -357,6 +372,8 @@ func runCompress(args []string) {
 	stream := fs.Bool("stream", false, "stream the input in bounded memory (requires timestamp-sorted input)")
 	maxResident := cli.MaxResidentFlag(fs)
 	progress := fs.Bool("progress", false, "streaming: report packet progress on stderr")
+	index := fs.Bool("index", false, "append a seekable footer index (v2 archive, serves the extract verb)")
+	indexGroup := fs.Int("index-group", 0, "records per index group (0 = default)")
 	cpuProfile := cli.CPUProfileFlag(fs, "compression")
 	memProfile := cli.MemProfileFlag(fs, "compression")
 	fs.Parse(args)
@@ -369,13 +386,34 @@ func runCompress(args []string) {
 	if err := cli.ValidateMaxResident(*maxResident); err != nil {
 		log.Fatal("compress: ", err)
 	}
+	if *indexGroup != 0 && !*index {
+		log.Fatal("compress: -index-group requires -index")
+	}
+	idxCfg := core.IndexConfig{Enabled: *index, GroupSize: *indexGroup}
+	if err := idxCfg.Validate(); err != nil {
+		log.Fatal("compress: ", err)
+	}
 	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		log.Fatal("compress: ", err)
 	}
 
 	var arch *core.Archive
-	opts := buildOpts()
+	cfg := core.PipelineConfig{
+		Workers:         *workers,
+		SharedTemplates: *sharedTpl,
+		MaxResident:     *maxResident,
+		Index:           idxCfg,
+	}
+	if *stream && *progress {
+		cfg.Progress = func(packets int64) {
+			fmt.Fprintf(os.Stderr, "\rflowzip: compressed %d packets", packets)
+		}
+	}
+	pipe, err := core.NewPipeline(buildOpts(), cfg)
+	if err != nil {
+		log.Fatal("compress: ", err)
+	}
 	if *stream {
 		// The residency window only covers the pipeline; cap the source's
 		// read batch too so a small -maxresident is honored end to end.
@@ -388,13 +426,7 @@ func runCompress(args []string) {
 			log.Fatal(err)
 		}
 		defer src.Close()
-		cfg := core.StreamConfig{Workers: *workers, MaxResident: *maxResident, SharedTemplates: *sharedTpl}
-		if *progress {
-			cfg.Progress = func(packets int64) {
-				fmt.Fprintf(os.Stderr, "\rflowzip: compressed %d packets", packets)
-			}
-		}
-		arch, err = core.CompressStreamConfig(src, opts, cfg)
+		arch, err = pipe.Compress(src)
 		if *progress {
 			fmt.Fprintln(os.Stderr)
 		}
@@ -409,8 +441,7 @@ func runCompress(args []string) {
 		if !tr.IsSorted() {
 			tr.Sort()
 		}
-		arch, err = core.CompressParallelConfig(tr, opts,
-			core.ParallelConfig{Workers: *workers, SharedTemplates: *sharedTpl})
+		arch, err = pipe.CompressTrace(tr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -426,9 +457,13 @@ func runDecompress(args []string) {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("i", "", "input archive")
 	out := fs.String("o", "out.tsh", "output trace (.tsh or .pcap)")
+	workers := cli.WorkersFlag(fs, "decompression workers")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("decompress: -i required")
+	}
+	if err := cli.ValidateWorkers(*workers); err != nil {
+		log.Fatal("decompress: ", err)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -439,7 +474,7 @@ func runDecompress(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := core.Decompress(arch)
+	tr, err := core.DecompressParallel(arch, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -447,6 +482,76 @@ func runDecompress(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %s\n", *out, tr.ComputeStats())
+}
+
+// runExtract serves the selective read path: it opens an indexed (v2)
+// archive without touching the flow body, decodes only the groups matching
+// the prefix/time filter, and reports how much of the archive that took.
+func runExtract(args []string) {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	in := fs.String("i", "", "input archive (must be indexed: compress -index)")
+	out := fs.String("o", "extract.tsh", "output trace (.tsh or .pcap)")
+	prefix := fs.String("prefix", "", "client-address prefix a.b.c.d[/len] (empty = all addresses)")
+	from := fs.Duration("from", 0, "start of the flow time window (offset into the trace)")
+	to := fs.Duration("to", 0, "end of the flow time window (0 = open-ended)")
+	fs.Parse(args)
+	if *in == "" {
+		log.Fatal("extract: -i required")
+	}
+	filter := core.FlowFilter{From: *from, To: *to}
+	if *prefix != "" {
+		ip, plen, err := parsePrefix(*prefix)
+		if err != nil {
+			log.Fatal("extract: ", err)
+		}
+		filter.Prefix, filter.PrefixLen = ip, plen
+	}
+	if err := filter.Validate(); err != nil {
+		log.Fatal("extract: ", err)
+	}
+	r, err := core.OpenReaderFile(*in)
+	if err != nil {
+		if errors.Is(err, core.ErrNoIndex) {
+			log.Fatalf("extract: %s has no footer index; recompress it with flowzip compress -index", *in)
+		}
+		log.Fatal(err)
+	}
+	defer r.Close()
+	tr, err := r.ExtractFlows(filter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	st, is := r.Stats(), r.IndexStats()
+	fmt.Printf("%s: %d flows, %d packets\n", *out, st.FlowsMatched, tr.Len())
+	fmt.Printf("read %d of %d body bytes (%d of %d groups, %d templates); %d bytes fetched in total\n",
+		st.BodyBytesRead, is.BodyBytes, st.GroupsDecoded, is.Groups, st.TemplatesLoaded, st.BytesRead)
+}
+
+// parsePrefix parses a.b.c.d or a.b.c.d/len into an address and prefix length.
+func parsePrefix(s string) (pkt.IPv4, int, error) {
+	ipStr, plen := s, 32
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		n, err := strconv.Atoi(s[i+1:])
+		if err != nil || n < 0 || n > 32 {
+			return 0, 0, fmt.Errorf("bad prefix length %q (want 0..32)", s[i+1:])
+		}
+		ipStr, plen = s[:i], n
+	}
+	var oct [4]int
+	if n, err := fmt.Sscanf(ipStr, "%d.%d.%d.%d", &oct[0], &oct[1], &oct[2], &oct[3]); err != nil || n != 4 {
+		return 0, 0, fmt.Errorf("bad address %q (want a.b.c.d)", ipStr)
+	}
+	var ip uint32
+	for _, o := range oct {
+		if o < 0 || o > 255 {
+			return 0, 0, fmt.Errorf("bad address %q: octet %d out of range", ipStr, o)
+		}
+		ip = ip<<8 | uint32(o)
+	}
+	return pkt.IPv4(ip), plen, nil
 }
 
 func runInspect(args []string) {
@@ -492,6 +597,16 @@ func runInspect(args []string) {
 	t.AddRowf("source TSH bytes", arch.SourceTSHBytes)
 	if arch.SourceTSHBytes > 0 {
 		t.AddRowf("ratio", float64(sizes.Total())/float64(arch.SourceTSHBytes))
+	}
+	// An indexed (v2) archive carries a footer the Reader serves selective
+	// queries from; surface its shape when the container has one.
+	if r, err := core.OpenReaderFile(*in); err == nil {
+		is := r.IndexStats()
+		t.AddRowf("index group size", is.GroupSize)
+		t.AddRowf("index groups", is.Groups)
+		t.AddRowf("index bytes", is.IndexBytes)
+		t.AddRowf("indexed body bytes", is.BodyBytes)
+		r.Close()
 	}
 	// A daemon segment carries a JSON sidecar attributing the archive to its
 	// tenant and rotation sequence; fold it into the same table when present.

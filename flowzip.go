@@ -102,7 +102,32 @@ type (
 	DaemonMetrics = server.Metrics
 	// IngestClient is one capture stream into a daemon.
 	IngestClient = server.Client
+	// IndexConfig selects the indexed (v2) archive container: the same
+	// body plus a footer index enabling the OpenArchive read path.
+	IndexConfig = core.IndexConfig
+	// Reader is the indexed read path: it opens a v2 archive through an
+	// io.ReaderAt without loading the body and serves selective
+	// (ExtractFlows) and parallel (DecompressParallel) decodes.
+	Reader = core.Reader
+	// FlowFilter selects flows by server-address prefix and/or start-time
+	// window for Reader.ExtractFlows.
+	FlowFilter = core.FlowFilter
+	// ReaderStats counts the bytes and sections a Reader actually read.
+	ReaderStats = core.ReaderStats
+	// IndexStats describes the footer index of an open archive.
+	IndexStats = core.IndexStats
 )
+
+// ErrNoIndex reports a v1 archive opened through the indexed read path;
+// decode it with DecodeArchive instead.
+var ErrNoIndex = core.ErrNoIndex
+
+// ErrBadIndex reports a corrupt or inconsistent archive footer index.
+var ErrBadIndex = core.ErrBadIndex
+
+// DefaultIndexGroupSize is the default flow-group granularity of the
+// archive footer index.
+const DefaultIndexGroupSize = core.DefaultIndexGroupSize
 
 // ErrSessionDrained reports that a daemon finalized an ingestion session
 // early during graceful shutdown; everything acked was flushed to archives.
@@ -313,8 +338,37 @@ func NewCompressor(opts Options) (*Compressor, error) { return core.NewCompresso
 // Decompress regenerates a synthetic trace from an archive.
 func Decompress(a *Archive) (*Trace, error) { return core.Decompress(a) }
 
+// DecompressParallel regenerates the trace with workers concurrent decoders
+// (0 means one per CPU), packet-for-packet identical to Decompress: the
+// time-seq records are split into contiguous ranges balanced by packet
+// count, each range merges independently, and a deterministic final merge
+// reproduces the serial (timestamp, record) order exactly.
+func DecompressParallel(a *Archive, workers int) (*Trace, error) {
+	return core.DecompressParallel(a, workers)
+}
+
 // DecodeArchive parses a compressed archive from r.
 func DecodeArchive(r io.Reader) (*Archive, error) { return core.Decode(r) }
+
+// OpenArchive opens an indexed (v2) archive of the given size through src,
+// reading only the header, address dataset and footer index — the flow body
+// stays on storage until a query touches it. A v1 archive returns
+// ErrNoIndex; a corrupt footer returns ErrBadIndex.
+func OpenArchive(src io.ReaderAt, size int64) (*Reader, error) {
+	return core.OpenReader(src, size)
+}
+
+// OpenArchiveFile opens an indexed archive file; Reader.Close releases it.
+func OpenArchiveFile(path string) (*Reader, error) { return core.OpenReaderFile(path) }
+
+// ExtractFlows is the one-call selective decode over an indexed archive:
+// only the flows matching the filter are decoded, reading just the flow
+// groups and templates the footer index maps to them. The returned packets
+// are exactly the matching flows' packets of the full Decompress output, in
+// the same order.
+func ExtractFlows(src io.ReaderAt, size int64, f FlowFilter) (*Trace, error) {
+	return core.ExtractFlows(src, size, f)
+}
 
 // LoadTrace reads a trace file (TSH or pcap, by extension).
 func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }

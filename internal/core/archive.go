@@ -34,6 +34,13 @@ type Archive struct {
 	// decompressor reuses them.
 	Opts Options
 
+	// Index selects the v2 container with a footer index (see index.go).
+	// The zero value keeps Encode on the v1 container. Decode sets Enabled
+	// when it parsed a v2 archive (with GroupSize 0, meaning the default);
+	// the footer itself is not retained in memory — reopen the bytes with
+	// OpenReader for indexed access.
+	Index IndexConfig
+
 	// SourcePackets and SourceTSHBytes describe the original trace, kept for
 	// ratio reporting.
 	SourcePackets  int64
@@ -115,11 +122,14 @@ type SectionSizes struct {
 	LongTemplates  int64
 	Addresses      int64
 	TimeSeq        int64
+	// Index is the footer index size (payload plus trailer); 0 for the v1
+	// container.
+	Index int64
 }
 
 // Total sums all sections.
 func (s SectionSizes) Total() int64 {
-	return s.Header + s.ShortTemplates + s.LongTemplates + s.Addresses + s.TimeSeq
+	return s.Header + s.ShortTemplates + s.LongTemplates + s.Addresses + s.TimeSeq + s.Index
 }
 
 // Binary container format:
@@ -166,11 +176,27 @@ var encodePool = sync.Pool{New: func() any {
 	return s
 }}
 
-// Encode writes the archive and returns the per-section byte counts.
+// Encode writes the archive and returns the per-section byte counts. When
+// a.Index.Enabled is set it writes the v2 container: the same body followed
+// by the footer index, so v1 readers of the body layout (Decode) still parse
+// it and OpenReader gains random access.
 func (a *Archive) Encode(w io.Writer) (SectionSizes, error) {
 	var sizes SectionSizes
 	if err := a.Validate(); err != nil {
 		return sizes, err
+	}
+	if err := a.Index.Validate(); err != nil {
+		return sizes, err
+	}
+	// Time-seq is delta encoded over sorted timestamps below. Every
+	// compressor already emits TimeSeq sorted by FirstTS, so the defensive
+	// copy-and-sort (kept for hand-built archives) is normally skipped. The
+	// sort is hoisted above the header write because the footer index is
+	// computed from the sorted records.
+	recs := a.TimeSeq
+	if !slices.IsSortedFunc(recs, func(x, y TimeSeqRecord) int { return cmp.Compare(x.FirstTS, y.FirstTS) }) {
+		recs = append([]TimeSeqRecord(nil), a.TimeSeq...)
+		slices.SortStableFunc(recs, func(x, y TimeSeqRecord) int { return cmp.Compare(x.FirstTS, y.FirstTS) })
 	}
 	st := encodePool.Get().(*encodeState)
 	defer func() {
@@ -200,7 +226,11 @@ func (a *Archive) Encode(w io.Writer) (SectionSizes, error) {
 	if _, err := bw.Write(magic[:]); err != nil {
 		return sizes, err
 	}
-	if err := bw.WriteByte(1); err != nil {
+	version := byte(1)
+	if a.Index.Enabled {
+		version = 2
+	}
+	if err := bw.WriteByte(version); err != nil {
 		return sizes, err
 	}
 	for _, v := range []uint64{
@@ -268,14 +298,7 @@ func (a *Archive) Encode(w io.Writer) (SectionSizes, error) {
 		return sizes, err
 	}
 
-	// Time-seq, delta encoded over sorted timestamps. Every compressor
-	// already emits TimeSeq sorted by FirstTS, so the defensive copy-and-sort
-	// (kept for hand-built archives) is normally skipped.
-	recs := a.TimeSeq
-	if !slices.IsSortedFunc(recs, func(x, y TimeSeqRecord) int { return cmp.Compare(x.FirstTS, y.FirstTS) }) {
-		recs = append([]TimeSeqRecord(nil), a.TimeSeq...)
-		slices.SortStableFunc(recs, func(x, y TimeSeqRecord) int { return cmp.Compare(x.FirstTS, y.FirstTS) })
-	}
+	// Time-seq, delta encoded over the sorted records hoisted above.
 	if err := writeUvarint(uint64(len(recs))); err != nil {
 		return sizes, err
 	}
@@ -311,6 +334,26 @@ func (a *Archive) Encode(w io.Writer) (SectionSizes, error) {
 	if err := flushSection(&sizes.TimeSeq); err != nil {
 		return sizes, err
 	}
+
+	// Footer index (v2 only). The offsets are recomputed arithmetically from
+	// the same records the sections were encoded from; the section sizes
+	// recorded above let the reader locate every section from the footer
+	// alone.
+	if a.Index.Enabled {
+		idx := buildArchiveIndex(a, recs, a.Index)
+		idx.sections = sizes
+		idx.sections.Index = 0
+		payload := idx.encodePayload()
+		if _, err := bw.Write(payload); err != nil {
+			return sizes, err
+		}
+		if _, err := bw.Write(encodeTrailer(payload)); err != nil {
+			return sizes, err
+		}
+		if err := flushSection(&sizes.Index); err != nil {
+			return sizes, err
+		}
+	}
 	return sizes, nil
 }
 
@@ -324,7 +367,35 @@ func (a *Archive) EncodedSize() (int64, error) {
 	return sizes.Total(), nil
 }
 
-// Decode parses an archive from r.
+// maxCount is the sanity bound on any count parsed from an archive or
+// footer index — far above any real trace, far below what would let a
+// corrupt stream demand gigabytes.
+const maxCount = 1 << 28
+
+// allocCap bounds how much any decode loop allocates ahead of the bytes it
+// has actually read, so a corrupt count fails fast at EOF instead of
+// reserving maxCount-sized slices up front (an allocation bomb: a few bytes
+// of crafted input must not make the decoder allocate gigabytes).
+const allocCap = 1 << 16
+
+// readVector reads an n-byte flow vector with capped incremental growth.
+func readVector(br io.Reader, n uint64) (flow.Vector, error) {
+	v := make(flow.Vector, 0, min(n, allocCap))
+	for uint64(len(v)) < n {
+		take := min(n-uint64(len(v)), allocCap)
+		start := len(v)
+		v = append(v, make(flow.Vector, take)...)
+		if _, err := io.ReadFull(br, v[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// Decode parses an archive from r. It accepts both container versions: the
+// v2 footer index, which sits after the last body section, is not read — a
+// v2 archive decodes to the exact same Archive as its v1 body (a.Index
+// records that the container carried an index).
 func Decode(r io.Reader) (*Archive, error) {
 	br := bufio.NewReader(r)
 	var m [5]byte
@@ -334,12 +405,15 @@ func Decode(r io.Reader) (*Archive, error) {
 	if m[0] != magic[0] || m[1] != magic[1] || m[2] != magic[2] || m[3] != magic[3] {
 		return nil, ErrBadArchive
 	}
-	if m[4] != 1 {
+	if m[4] != 1 && m[4] != 2 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadArchive, m[4])
 	}
 	read := func() (uint64, error) { return binary.ReadUvarint(br) }
 
 	a := &Archive{Opts: DefaultOptions()}
+	if m[4] == 2 {
+		a.Index = IndexConfig{Enabled: true}
+	}
 	hdr := make([]uint64, 7)
 	for i := range hdr {
 		v, err := read()
@@ -353,74 +427,79 @@ func Decode(r io.Reader) (*Archive, error) {
 	a.Opts.LimitPct = float64(hdr[4]) / 100
 	a.SourcePackets = int64(hdr[5])
 	a.SourceTSHBytes = int64(hdr[6])
+	// A tampered header can carry parameters no encoder produces — zero
+	// weights would divide by zero inside Weights.Decompose during
+	// decompression — so the options gate runs here, not just on Compress.
+	if err := a.Opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
 
 	nShort, err := read()
 	if err != nil {
 		return nil, fmt.Errorf("core: decode short count: %w", err)
 	}
-	const maxCount = 1 << 28 // sanity bound against corrupt streams
 	if nShort > maxCount {
 		return nil, fmt.Errorf("%w: short template count %d", ErrBadArchive, nShort)
 	}
-	a.ShortTemplates = make([]flow.Vector, nShort)
-	for i := range a.ShortTemplates {
+	a.ShortTemplates = make([]flow.Vector, 0, min(nShort, allocCap))
+	for i := 0; i < int(nShort); i++ {
 		n, err := read()
 		if err != nil || n > maxCount {
 			return nil, fmt.Errorf("core: decode short template %d: %v", i, err)
 		}
-		v := make(flow.Vector, n)
-		if _, err := io.ReadFull(br, v); err != nil {
+		v, err := readVector(br, n)
+		if err != nil {
 			return nil, fmt.Errorf("core: decode short template %d: %w", i, err)
 		}
-		a.ShortTemplates[i] = v
+		a.ShortTemplates = append(a.ShortTemplates, v)
 	}
 
 	nLong, err := read()
 	if err != nil || nLong > maxCount {
 		return nil, fmt.Errorf("core: decode long count: %v", err)
 	}
-	a.LongTemplates = make([]LongTemplate, nLong)
-	for i := range a.LongTemplates {
+	a.LongTemplates = make([]LongTemplate, 0, min(nLong, allocCap))
+	for i := 0; i < int(nLong); i++ {
 		n, err := read()
 		if err != nil || n == 0 || n > maxCount {
 			return nil, fmt.Errorf("core: decode long template %d: %v", i, err)
 		}
-		v := make(flow.Vector, n)
-		if _, err := io.ReadFull(br, v); err != nil {
+		v, err := readVector(br, n)
+		if err != nil {
 			return nil, fmt.Errorf("core: decode long template %d: %w", i, err)
 		}
-		gaps := make([]time.Duration, n-1)
-		for g := range gaps {
+		gaps := make([]time.Duration, 0, min(n-1, allocCap))
+		for g := 0; g < int(n)-1; g++ {
 			us, err := read()
 			if err != nil {
 				return nil, fmt.Errorf("core: decode long template %d gap %d: %w", i, g, err)
 			}
-			gaps[g] = time.Duration(us) * time.Microsecond
+			gaps = append(gaps, time.Duration(us)*time.Microsecond)
 		}
-		a.LongTemplates[i] = LongTemplate{F: v, Gaps: gaps}
+		a.LongTemplates = append(a.LongTemplates, LongTemplate{F: v, Gaps: gaps})
 	}
 
 	nAddr, err := read()
 	if err != nil || nAddr > maxCount {
 		return nil, fmt.Errorf("core: decode address count: %v", err)
 	}
-	a.Addresses = make([]pkt.IPv4, nAddr)
+	a.Addresses = make([]pkt.IPv4, 0, min(nAddr, allocCap))
 	var ab [4]byte
-	for i := range a.Addresses {
+	for i := 0; i < int(nAddr); i++ {
 		if _, err := io.ReadFull(br, ab[:]); err != nil {
 			return nil, fmt.Errorf("core: decode address %d: %w", i, err)
 		}
-		a.Addresses[i] = pkt.IPv4(binary.BigEndian.Uint32(ab[:]))
+		a.Addresses = append(a.Addresses, pkt.IPv4(binary.BigEndian.Uint32(ab[:])))
 	}
 
 	nRec, err := read()
 	if err != nil || nRec > maxCount {
 		return nil, fmt.Errorf("core: decode time-seq count: %v", err)
 	}
-	a.TimeSeq = make([]TimeSeqRecord, nRec)
+	a.TimeSeq = make([]TimeSeqRecord, 0, min(nRec, allocCap))
 	prev := time.Duration(0)
 	var vals [4]uint64
-	for i := range a.TimeSeq {
+	for i := 0; i < int(nRec); i++ {
 		for j := range vals {
 			v, err := read()
 			if err != nil {
@@ -429,13 +508,13 @@ func Decode(r io.Reader) (*Archive, error) {
 			vals[j] = v
 		}
 		prev += time.Duration(vals[0]) * time.Microsecond
-		a.TimeSeq[i] = TimeSeqRecord{
+		a.TimeSeq = append(a.TimeSeq, TimeSeqRecord{
 			FirstTS:  prev,
 			Long:     vals[1]&1 == 1,
 			Template: uint32(vals[1] >> 1),
 			RTT:      time.Duration(vals[2]) * time.Microsecond,
 			Addr:     uint32(vals[3]),
-		}
+		})
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err

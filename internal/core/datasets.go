@@ -215,8 +215,12 @@ func LoadDatasets(dir string) (*Archive, error) {
 	a.Opts.LimitPct = float64(hdr[4]) / 100
 	a.SourcePackets = int64(hdr[5])
 	a.SourceTSHBytes = int64(hdr[6])
-
-	const maxCount = 1 << 28
+	// A tampered manifest can carry parameters no encoder writes — zero
+	// weights would divide by zero inside Weights.Decompose on the first
+	// Decompress — so the options gate runs on load, mirroring Decode.
+	if err := a.Opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
 
 	// Short templates.
 	br, f, err = open(ShortTemplateFile)
@@ -228,19 +232,19 @@ func LoadDatasets(dir string) (*Archive, error) {
 		f.Close()
 		return nil, fmt.Errorf("core: short templates: %v", err)
 	}
-	a.ShortTemplates = make([]flow.Vector, n)
-	for i := range a.ShortTemplates {
+	a.ShortTemplates = make([]flow.Vector, 0, min(n, allocCap))
+	for i := 0; i < int(n); i++ {
 		ln, err := binary.ReadUvarint(br)
 		if err != nil || ln > maxCount {
 			f.Close()
 			return nil, fmt.Errorf("core: short template %d: %v", i, err)
 		}
-		v := make(flow.Vector, ln)
-		if _, err := io.ReadFull(br, v); err != nil {
+		v, err := readVector(br, ln)
+		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("core: short template %d: %w", i, err)
 		}
-		a.ShortTemplates[i] = v
+		a.ShortTemplates = append(a.ShortTemplates, v)
 	}
 	f.Close()
 
@@ -254,28 +258,28 @@ func LoadDatasets(dir string) (*Archive, error) {
 		f.Close()
 		return nil, fmt.Errorf("core: long templates: %v", err)
 	}
-	a.LongTemplates = make([]LongTemplate, n)
-	for i := range a.LongTemplates {
+	a.LongTemplates = make([]LongTemplate, 0, min(n, allocCap))
+	for i := 0; i < int(n); i++ {
 		ln, err := binary.ReadUvarint(br)
 		if err != nil || ln == 0 || ln > maxCount {
 			f.Close()
 			return nil, fmt.Errorf("core: long template %d: %v", i, err)
 		}
-		v := make(flow.Vector, ln)
-		if _, err := io.ReadFull(br, v); err != nil {
+		v, err := readVector(br, ln)
+		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("core: long template %d: %w", i, err)
 		}
-		gaps := make([]time.Duration, ln-1)
-		for g := range gaps {
+		gaps := make([]time.Duration, 0, min(ln-1, allocCap))
+		for g := 0; g < int(ln)-1; g++ {
 			us, err := binary.ReadUvarint(br)
 			if err != nil {
 				f.Close()
 				return nil, fmt.Errorf("core: long template %d gap %d: %w", i, g, err)
 			}
-			gaps[g] = time.Duration(us) * time.Microsecond
+			gaps = append(gaps, time.Duration(us)*time.Microsecond)
 		}
-		a.LongTemplates[i] = LongTemplate{F: v, Gaps: gaps}
+		a.LongTemplates = append(a.LongTemplates, LongTemplate{F: v, Gaps: gaps})
 	}
 	f.Close()
 
@@ -289,14 +293,14 @@ func LoadDatasets(dir string) (*Archive, error) {
 		f.Close()
 		return nil, fmt.Errorf("core: addresses: %v", err)
 	}
-	a.Addresses = make([]pkt.IPv4, n)
+	a.Addresses = make([]pkt.IPv4, 0, min(n, allocCap))
 	var ab [4]byte
-	for i := range a.Addresses {
+	for i := 0; i < int(n); i++ {
 		if _, err := io.ReadFull(br, ab[:]); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("core: address %d: %w", i, err)
 		}
-		a.Addresses[i] = pkt.IPv4(binary.BigEndian.Uint32(ab[:]))
+		a.Addresses = append(a.Addresses, pkt.IPv4(binary.BigEndian.Uint32(ab[:])))
 	}
 	f.Close()
 
@@ -310,9 +314,9 @@ func LoadDatasets(dir string) (*Archive, error) {
 	if err != nil || n > maxCount {
 		return nil, fmt.Errorf("core: time-seq: %v", err)
 	}
-	a.TimeSeq = make([]TimeSeqRecord, n)
+	a.TimeSeq = make([]TimeSeqRecord, 0, min(n, allocCap))
 	prev := time.Duration(0)
-	for i := range a.TimeSeq {
+	for i := 0; i < int(n); i++ {
 		vals := make([]uint64, 4)
 		for j := range vals {
 			v, err := binary.ReadUvarint(br)
@@ -322,13 +326,13 @@ func LoadDatasets(dir string) (*Archive, error) {
 			vals[j] = v
 		}
 		prev += time.Duration(vals[0]) * time.Microsecond
-		a.TimeSeq[i] = TimeSeqRecord{
+		a.TimeSeq = append(a.TimeSeq, TimeSeqRecord{
 			FirstTS:  prev,
 			Long:     vals[1]&1 == 1,
 			Template: uint32(vals[1] >> 1),
 			RTT:      time.Duration(vals[2]) * time.Microsecond,
 			Addr:     uint32(vals[3]),
-		}
+		})
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err

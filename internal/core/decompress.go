@@ -57,12 +57,43 @@ func randomClassBC(rng *stats.RNG) pkt.IPv4 {
 	return pkt.IPv4(0xc0000000 | (rng.Uint32() & 0x1fffffff))
 }
 
-func (d *Decompressor) spec(rec *TimeSeqRecord) flowSpec {
+// flowIdentity is the random part of one flow's reconstruction: the client
+// address and port. The decompressor draws exactly one identity per time-seq
+// record, in record order, so any reader that skips records can fast-forward
+// the RNG deterministically (see rngSkipRecords) and stay byte-identical to
+// the serial decode.
+type flowIdentity struct {
+	client pkt.IPv4
+	cport  uint16
+}
+
+// drawIdentity consumes exactly identityDraws RNG values: one for the
+// class-B/C coin, one for the address bits, one for the port.
+func drawIdentity(rng *stats.RNG) flowIdentity {
+	return flowIdentity{
+		client: randomClassBC(rng),
+		cport:  uint16(rng.IntRange(1024, 65000)),
+	}
+}
+
+// identityDraws is the number of RNG values drawIdentity consumes. It is the
+// contract the selective and parallel readers rely on; a property test pins
+// it against drawIdentity.
+const identityDraws = 3
+
+// rngSkipRecords advances rng past n records' worth of identity draws.
+func rngSkipRecords(rng *stats.RNG, n int) {
+	for i := 0; i < identityDraws*n; i++ {
+		rng.Uint64()
+	}
+}
+
+func (d *Decompressor) spec(rec *TimeSeqRecord, id flowIdentity) flowSpec {
 	s := flowSpec{
 		rtt:    rec.RTT,
 		server: d.archive.Addresses[rec.Addr],
-		client: randomClassBC(d.rng),
-		cport:  uint16(d.rng.IntRange(1024, 65000)),
+		client: id.client,
+		cport:  id.cport,
 		start:  rec.FirstTS,
 	}
 	if rec.Long {
@@ -135,10 +166,15 @@ func (d *Decompressor) buildPacket(s *flowSpec, i int, fromClient bool, ts time.
 	return p
 }
 
-// flowCursor iterates one flow's packets lazily for the merge.
+// flowCursor iterates one flow's packets lazily for the merge. rec is the
+// flow's global time-seq index; it breaks timestamp ties in the merge so the
+// output order is the unique total order by (timestamp, record, packet) —
+// the invariant that makes selective and parallel decodes exactly equal to
+// (subsets of) the serial output.
 type flowCursor struct {
 	d          *Decompressor
 	spec       flowSpec
+	rec        int
 	idx        int
 	ts         time.Duration
 	fromClient bool
@@ -147,8 +183,8 @@ type flowCursor struct {
 	done       bool
 }
 
-func (d *Decompressor) newCursor(rec *TimeSeqRecord) *flowCursor {
-	c := &flowCursor{d: d, spec: d.spec(rec), ts: rec.FirstTS, fromClient: true}
+func (d *Decompressor) newCursor(rec *TimeSeqRecord, recIdx int, id flowIdentity) *flowCursor {
+	c := &flowCursor{d: d, spec: d.spec(rec, id), rec: recIdx, ts: rec.FirstTS, fromClient: true}
 	c.advance()
 	return c
 }
@@ -181,11 +217,18 @@ func (c *flowCursor) advance() {
 }
 
 // cursorHeap orders cursors by next-packet timestamp — the decompression
-// algorithm's sorted linked list, realized as a merge heap.
+// algorithm's sorted linked list, realized as a merge heap. Ties go to the
+// earlier time-seq record, making the merge order deterministic even for
+// floods of flows sharing one timestamp.
 type cursorHeap []*flowCursor
 
-func (h cursorHeap) Len() int            { return len(h) }
-func (h cursorHeap) Less(i, j int) bool  { return h[i].next.Timestamp < h[j].next.Timestamp }
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	if h[i].next.Timestamp != h[j].next.Timestamp {
+		return h[i].next.Timestamp < h[j].next.Timestamp
+	}
+	return h[i].rec < h[j].rec
+}
 func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(*flowCursor)) }
 func (h *cursorHeap) Pop() interface{} {
@@ -196,26 +239,27 @@ func (h *cursorHeap) Pop() interface{} {
 	return x
 }
 
-// Decompress regenerates the full synthetic trace in timestamp order.
-func (d *Decompressor) Decompress() *trace.Trace {
-	tr := trace.New("decomp")
+// mergeCursors merges the packets of n lazily-created flow cursors into
+// emit in (timestamp, record) order. cursor(i) and startOf(i) describe the
+// i-th flow of the merge, which must be ordered by (start, rec) — the order
+// time-seq records appear in the archive. Flows overlap in time, so the
+// merge is incremental: each cursor is admitted in turn and the heap drains
+// up to the next flow's start time, keeping the output globally sorted (the
+// paper's "nodes with time stamp less than the current value are written to
+// the decompressed file") without holding every flow open at once.
+func mergeCursors(n int, cursor func(i int) *flowCursor, startOf func(i int) time.Duration, emit func(pkt.Packet)) {
 	h := &cursorHeap{}
-	// time-seq is sorted by FirstTS; flows still overlap in time, so an
-	// incremental merge bounded by the next record's start time keeps packet
-	// output globally sorted (the paper's "nodes with time stamp less than
-	// the current value are written to the decompressed file").
-	recs := d.archive.TimeSeq
-	for i := range recs {
-		if c := d.newCursor(&recs[i]); !c.done {
+	for i := 0; i < n; i++ {
+		if c := cursor(i); !c.done {
 			heap.Push(h, c)
 		}
 		limit := time.Duration(1<<63 - 1)
-		if i+1 < len(recs) {
-			limit = recs[i+1].FirstTS
+		if i+1 < n {
+			limit = startOf(i + 1)
 		}
 		for h.Len() > 0 && (*h)[0].next.Timestamp < limit {
 			c := (*h)[0]
-			tr.Append(c.next)
+			emit(c.next)
 			c.advance()
 			if c.done {
 				heap.Pop(h)
@@ -224,6 +268,16 @@ func (d *Decompressor) Decompress() *trace.Trace {
 			}
 		}
 	}
+}
+
+// Decompress regenerates the full synthetic trace in timestamp order.
+func (d *Decompressor) Decompress() *trace.Trace {
+	tr := trace.New("decomp")
+	recs := d.archive.TimeSeq
+	mergeCursors(len(recs),
+		func(i int) *flowCursor { return d.newCursor(&recs[i], i, drawIdentity(d.rng)) },
+		func(i int) time.Duration { return recs[i].FirstTS },
+		tr.Append)
 	return tr
 }
 

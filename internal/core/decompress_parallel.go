@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"flowzip/internal/pkt"
+	"flowzip/internal/trace"
+)
+
+// flowLen returns the packet count of a record's template.
+func (d *Decompressor) flowLen(r *TimeSeqRecord) int {
+	if r.Long {
+		return len(d.archive.LongTemplates[r.Template].F)
+	}
+	return len(d.archive.ShortTemplates[r.Template])
+}
+
+// DecompressParallel regenerates the trace with workers concurrent decoders
+// and is packet-for-packet identical to Decompress.
+//
+// The decomposition relies on two invariants of the serial decode: the
+// identity RNG draws exactly identityDraws values per time-seq record in
+// record order, and the merge emits packets in the unique (timestamp,
+// record, packet) total order. So the identities are drawn serially up
+// front (cheap — three RNG calls per flow), the records are partitioned
+// into contiguous ranges balanced by packet count, each worker merges its
+// range into a sorted run, and the runs are concatenated by a final k-way
+// merge that breaks timestamp ties toward the lower range — exactly where
+// the smaller record index lives.
+func (d *Decompressor) DecompressParallel(workers int) *trace.Trace {
+	recs := d.archive.TimeSeq
+	n := len(recs)
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return d.Decompress()
+	}
+
+	ids := make([]flowIdentity, n)
+	for i := range ids {
+		ids[i] = drawIdentity(d.rng)
+	}
+
+	// Prefix packet counts, so range boundaries split the work evenly even
+	// when long flows cluster.
+	pkts := make([]int64, n+1)
+	for i := range recs {
+		pkts[i+1] = pkts[i] + int64(d.flowLen(&recs[i]))
+	}
+	total := pkts[n]
+	bounds := make([]int, workers+1)
+	bounds[workers] = n
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		lo := sort.Search(n, func(i int) bool { return pkts[i+1] > target })
+		bounds[w] = max(lo, bounds[w-1])
+	}
+
+	runs := make([][]pkt.Packet, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := bounds[w], bounds[w+1]
+			out := make([]pkt.Packet, 0, pkts[hi]-pkts[lo])
+			mergeCursors(hi-lo,
+				func(i int) *flowCursor { return d.newCursor(&recs[lo+i], lo+i, ids[lo+i]) },
+				func(i int) time.Duration { return recs[lo+i].FirstTS },
+				func(p pkt.Packet) { out = append(out, p) })
+			runs[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	// Final k-way merge. Strict < keeps the lowest run index on timestamp
+	// ties, which is where the smaller record index lives.
+	tr := trace.New("decomp")
+	heads := make([]int, workers)
+	for {
+		best := -1
+		for w := range runs {
+			if heads[w] >= len(runs[w]) {
+				continue
+			}
+			if best < 0 || runs[w][heads[w]].Timestamp < runs[best][heads[best]].Timestamp {
+				best = w
+			}
+		}
+		if best < 0 {
+			break
+		}
+		tr.Append(runs[best][heads[best]])
+		heads[best]++
+	}
+	return tr
+}
+
+// DecompressParallel is the one-call convenience over an archive: decode
+// with workers concurrent decoders (0 means one per CPU), packet-identical
+// to Decompress.
+func DecompressParallel(a *Archive, workers int) (*trace.Trace, error) {
+	d, err := NewDecompressor(a)
+	if err != nil {
+		return nil, err
+	}
+	return d.DecompressParallel(workers), nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// fuzzSeedContainers returns real v1 and v2 containers as fuzz seeds, so the
+// mutator starts from deep inside the valid format instead of rediscovering
+// the magic bytes.
+func fuzzSeedContainers(f *testing.F) (v1, v2 []byte) {
+	f.Helper()
+	tr := webTrace(61, 80)
+	a, err := Compress(tr, DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := a.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	v1 = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	a.Index = IndexConfig{Enabled: true, GroupSize: 16}
+	if _, err := a.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return v1, buf.Bytes()
+}
+
+// FuzzDecode throws arbitrary bytes at the container parser: it must never
+// panic and never allocate beyond its input, and anything it accepts must be
+// a valid archive that re-encodes.
+func FuzzDecode(f *testing.F) {
+	v1, v2 := fuzzSeedContainers(f)
+	f.Add(v1)
+	f.Add(v2)
+	f.Add(v1[:len(v1)/2])
+	f.Add(v2[:len(v2)-trailerLen/2])
+	f.Add([]byte{})
+	f.Add([]byte("FZT1\x01"))
+	f.Add([]byte("FZT1\x02"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := Decode(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Decode accepted an archive its own Validate rejects: %v", err)
+		}
+		if _, err := a.Encode(io.Discard); err != nil {
+			t.Fatalf("decoded archive does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzOpenReader drives the indexed read path end to end on arbitrary bytes:
+// open, index stats, and a full selective decode. Corrupt containers must
+// fail with an error, never a panic, out-of-bounds read or runaway
+// allocation.
+func FuzzOpenReader(f *testing.F) {
+	v1, v2 := fuzzSeedContainers(f)
+	f.Add(v1)
+	f.Add(v2)
+	f.Add(v2[:len(v2)-1])
+	flipped := append([]byte(nil), v2...)
+	flipped[len(flipped)-5] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte("FZT1\x02FZIX"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := OpenReader(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			return
+		}
+		is := r.IndexStats()
+		if is.ArchiveBytes != int64(len(b)) {
+			t.Fatalf("index stats claim %d container bytes, input has %d", is.ArchiveBytes, len(b))
+		}
+		// Bound the decode work on accepted inputs: the mutator can in
+		// principle re-sign a footer describing a large body.
+		if r.Flows() > 1<<12 {
+			return
+		}
+		if _, err := r.ExtractFlows(FlowFilter{}); err != nil {
+			return
+		}
+	})
+}

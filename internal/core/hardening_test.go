@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// hostileContainer builds container bytes field by field, for crafting the
+// inputs no real encoder produces.
+type hostileContainer struct {
+	bytes.Buffer
+}
+
+func (h *hostileContainer) uv(v uint64) {
+	var s [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(s[:], v)
+	h.Write(s[:n])
+}
+
+// header writes the magic, version and the 7 header uvarints.
+func (h *hostileContainer) header(w1, w2, w3, shortMax, limitPct100 uint64) {
+	h.Write(magic[:])
+	h.WriteByte(1)
+	for _, v := range []uint64{w1, w2, w3, shortMax, limitPct100, 0, 0} {
+		h.uv(v)
+	}
+}
+
+// TestDecodeRejectsZeroWeights pins the options gate on the decode path: a
+// tampered header carrying a zero weight would divide by zero inside
+// Weights.Decompose on the first decompression, so Decode must reject it.
+func TestDecodeRejectsZeroWeights(t *testing.T) {
+	for _, weights := range [][3]uint64{{0, 4, 1}, {16, 0, 1}, {16, 4, 0}, {0, 0, 0}} {
+		var h hostileContainer
+		h.header(weights[0], weights[1], weights[2], 50, 200)
+		h.uv(0) // no short templates
+		h.uv(0) // no long templates
+		h.uv(0) // no addresses
+		h.uv(0) // no time-seq records
+		if _, err := Decode(bytes.NewReader(h.Bytes())); !errors.Is(err, ErrBadArchive) {
+			t.Fatalf("weights %v: Decode = %v, want ErrBadArchive", weights, err)
+		}
+	}
+}
+
+// TestDecodeRejectsHugeCounts pins the sanity bound: counts beyond maxCount
+// are rejected before any allocation.
+func TestDecodeRejectsHugeCounts(t *testing.T) {
+	build := func(fill func(h *hostileContainer)) []byte {
+		var h hostileContainer
+		h.header(16, 4, 1, 50, 200)
+		fill(&h)
+		return h.Bytes()
+	}
+	cases := map[string][]byte{
+		"short count": build(func(h *hostileContainer) { h.uv(maxCount + 1) }),
+		"short template length": build(func(h *hostileContainer) {
+			h.uv(1)
+			h.uv(maxCount + 1)
+		}),
+		"long count": build(func(h *hostileContainer) {
+			h.uv(0)
+			h.uv(maxCount + 1)
+		}),
+		"address count": build(func(h *hostileContainer) {
+			h.uv(0)
+			h.uv(0)
+			h.uv(maxCount + 1)
+		}),
+		"time-seq count": build(func(h *hostileContainer) {
+			h.uv(0)
+			h.uv(0)
+			h.uv(0)
+			h.uv(maxCount + 1)
+		}),
+	}
+	for name, input := range cases {
+		if _, err := Decode(bytes.NewReader(input)); err == nil {
+			t.Fatalf("%s beyond maxCount decoded successfully", name)
+		}
+	}
+}
+
+// TestDecodeAllocationBounded pins the allocation-bomb fix: a few bytes of
+// input claiming a just-under-the-bound count must fail fast at EOF without
+// having reserved count-sized slices up front. The test budget is the proxy —
+// pre-fix, these five inputs together allocated ~20 GB of slice headers and
+// either OOMed or thrashed; post-fix each fails in microseconds.
+func TestDecodeAllocationBounded(t *testing.T) {
+	build := func(fill func(h *hostileContainer)) []byte {
+		var h hostileContainer
+		h.header(16, 4, 1, 50, 200)
+		fill(&h)
+		return h.Bytes()
+	}
+	huge := uint64(maxCount) // within the sanity bound, far beyond the stream
+	cases := map[string][]byte{
+		"short templates": build(func(h *hostileContainer) { h.uv(huge) }),
+		"short vector": build(func(h *hostileContainer) {
+			h.uv(1)
+			h.uv(huge)
+		}),
+		"long vector": build(func(h *hostileContainer) {
+			h.uv(0)
+			h.uv(1)
+			h.uv(huge)
+		}),
+		"addresses": build(func(h *hostileContainer) {
+			h.uv(0)
+			h.uv(0)
+			h.uv(huge)
+		}),
+		"time-seq": build(func(h *hostileContainer) {
+			h.uv(0)
+			h.uv(0)
+			h.uv(0)
+			h.uv(huge)
+		}),
+	}
+	start := time.Now()
+	for name, input := range cases {
+		if _, err := Decode(bytes.NewReader(input)); err == nil {
+			t.Fatalf("%s: truncated huge-count input decoded successfully", name)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("huge-count decodes took %v — allocation is not bounded by input size", elapsed)
+	}
+}
+
+// TestLoadDatasetsRejectsTampering covers the four-dataset load path with the
+// same hostility: a tampered dataset directory must be rejected, not loaded
+// into an archive that fails later.
+func TestLoadDatasetsRejectsTampering(t *testing.T) {
+	a, err := Compress(webTrace(42, 80), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	save := func(t *testing.T) string {
+		t.Helper()
+		dir := t.TempDir()
+		if err := a.SaveDatasets(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("intact", func(t *testing.T) {
+		if _, err := LoadDatasets(save(t)); err != nil {
+			t.Fatalf("untampered datasets rejected: %v", err)
+		}
+	})
+
+	t.Run("zero weight manifest", func(t *testing.T) {
+		dir := save(t)
+		var h hostileContainer
+		h.Write(magic[:])
+		h.WriteByte(1)
+		for _, v := range []uint64{0, 4, 1, 50, 200, 0, 0} {
+			h.uv(v)
+		}
+		if err := os.WriteFile(filepath.Join(dir, ManifestFile), h.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadDatasets(dir); !errors.Is(err, ErrBadArchive) {
+			t.Fatalf("LoadDatasets = %v, want ErrBadArchive", err)
+		}
+	})
+
+	t.Run("template count bomb", func(t *testing.T) {
+		dir := save(t)
+		var h hostileContainer
+		h.uv(maxCount) // count far beyond the file's bytes
+		if err := os.WriteFile(filepath.Join(dir, ShortTemplateFile), h.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := LoadDatasets(dir); err == nil {
+			t.Fatal("short-template count bomb loaded successfully")
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("count bomb took %v to reject", elapsed)
+		}
+	})
+
+	t.Run("truncated time-seq", func(t *testing.T) {
+		dir := save(t)
+		name := filepath.Join(dir, TimeSeqFile)
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(name, b[:len(b)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadDatasets(dir); err == nil {
+			t.Fatal("truncated time-seq dataset loaded successfully")
+		}
+	})
+
+	t.Run("dangling address reference", func(t *testing.T) {
+		dir := save(t)
+		var h hostileContainer
+		h.uv(0) // empty address dataset while time-seq still references it
+		if err := os.WriteFile(filepath.Join(dir, AddressFile), h.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadDatasets(dir); err == nil {
+			t.Fatal("dangling address references loaded successfully")
+		}
+	})
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// The v2 container is the v1 body followed by a footer index, so the read
+// path can open an archive through io.ReaderAt and decode only the flow
+// groups a query touches:
+//
+//	magic "FZT1", version 2 (5 bytes)
+//	<body — byte-identical to the version-1 sections>
+//	footer payload:
+//	    uvarint index format version (1)
+//	    uvarint group size (time-seq records per flow group)
+//	    uvarint total time-seq records
+//	    uvarint section lengths: header, short, long, addresses, time-seq
+//	    uvarint #short templates, then delta-encoded byte offsets of each
+//	            template within the short section
+//	    uvarint #long templates, then delta-encoded offsets likewise
+//	    uvarint #groups, then per group:
+//	        uvarint byte-offset delta within the time-seq section
+//	        uvarint record count
+//	        uvarint firstUS - previous group's lastUS
+//	        uvarint lastUS - firstUS
+//	        (firstUS/lastUS are the accumulated µs timestamps of the group's
+//	        first and last records; the previous group's lastUS doubles as
+//	        the delta-decoding base of this group)
+//	    uvarint #addresses, then per address (in address-dataset order):
+//	        uvarint postings length, then delta-encoded ids of the groups
+//	        holding at least one flow of that address
+//	trailer (12 bytes, self-locating from EOF):
+//	    u32 LE CRC-32 (IEEE) of the footer payload
+//	    u32 LE footer payload length
+//	    magic "FZIX"
+//
+// Decode of a v2 archive parses the body exactly as v1 and never reads the
+// footer, so the two container versions stay bit-compatible on the full
+// decode path; only OpenReader interprets the index.
+
+// DefaultIndexGroupSize is the default number of time-seq records per
+// indexed flow group.
+const DefaultIndexGroupSize = 256
+
+// IndexConfig controls the footer index of the v2 container. The zero value
+// disables it (Encode writes the v1 container).
+type IndexConfig struct {
+	// Enabled selects the v2 container with a footer index.
+	Enabled bool
+	// GroupSize is the number of time-seq records per flow group; 0 means
+	// DefaultIndexGroupSize. Smaller groups give finer-grained selective
+	// decode at the cost of a larger footer.
+	GroupSize int
+}
+
+func (c IndexConfig) groupSize() int {
+	if c.GroupSize <= 0 {
+		return DefaultIndexGroupSize
+	}
+	return c.GroupSize
+}
+
+// Validate rejects malformed index configurations.
+func (c IndexConfig) Validate() error {
+	if c.GroupSize < 0 {
+		return fmt.Errorf("core: index group size %d must be >= 0", c.GroupSize)
+	}
+	return nil
+}
+
+var indexMagic = [4]byte{'F', 'Z', 'I', 'X'}
+
+const indexVersion = 1
+
+// trailerLen is the fixed size of the self-locating footer trailer.
+const trailerLen = 12
+
+var (
+	// ErrNoIndex reports a version-1 archive opened through the indexed
+	// read path; decode it with Decode instead.
+	ErrNoIndex = errors.New("core: archive has no footer index")
+	// ErrBadIndex reports a corrupt or inconsistent footer index.
+	ErrBadIndex = errors.New("core: corrupt archive index")
+)
+
+// groupInfo is one decoded flow-group entry.
+type groupInfo struct {
+	off      int64  // byte offset within the time-seq section
+	count    int    // time-seq records in the group
+	startRec int    // global index of the group's first record (derived)
+	firstUS  uint64 // accumulated µs timestamp of the first record
+	lastUS   uint64 // accumulated µs timestamp of the last record
+}
+
+// baseUS returns the delta-decoding base of group g: the accumulated
+// timestamp after the previous group's last record.
+func (x *archiveIndex) baseUS(g int) uint64 {
+	if g == 0 {
+		return 0
+	}
+	return x.groups[g-1].lastUS
+}
+
+// archiveIndex is the decoded footer.
+type archiveIndex struct {
+	groupSize int
+	flows     int
+	sections  SectionSizes // Index field unset here; trailer+payload tracked separately
+	shortOffs []int64      // template byte offsets within the short section
+	longOffs  []int64
+	groups    []groupInfo
+	postings  [][]uint32 // address id -> sorted ids of groups using it
+}
+
+// uvarintLen returns the encoded size of v, mirroring binary.PutUvarint.
+func uvarintLen(v uint64) int64 {
+	n := int64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// timeSeqDeltas replays the time-seq delta encoding for one record and
+// returns the record's encoded byte length plus the new accumulated µs
+// clock. It must mirror the Encode loop exactly.
+func timeSeqRecordLen(r *TimeSeqRecord, prevUS int64) (n int64, newPrevUS int64) {
+	us := int64(r.FirstTS / time.Microsecond)
+	delta := us - prevUS
+	if delta < 0 {
+		delta = 0
+	}
+	newPrevUS = prevUS + delta
+	tag := uint64(r.Template) << 1
+	if r.Long {
+		tag |= 1
+	}
+	rtt := r.RTT
+	if r.Long {
+		rtt = 0
+	}
+	n = uvarintLen(uint64(delta)) + uvarintLen(tag) +
+		uvarintLen(uint64(rtt/time.Microsecond)) + uvarintLen(uint64(r.Addr))
+	return n, newPrevUS
+}
+
+// buildArchiveIndex computes the footer index for an archive about to be
+// encoded. recs must be the sorted record slice Encode will write. The
+// offsets are derived arithmetically from the (deterministic) varint
+// encoding rather than plumbed out of the writer; the reader round-trip
+// tests pin the two against each other.
+func buildArchiveIndex(a *Archive, recs []TimeSeqRecord, cfg IndexConfig) *archiveIndex {
+	x := &archiveIndex{
+		groupSize: cfg.groupSize(),
+		flows:     len(recs),
+	}
+
+	// Short template offsets. The section starts with the template count.
+	off := uvarintLen(uint64(len(a.ShortTemplates)))
+	x.shortOffs = make([]int64, len(a.ShortTemplates))
+	for i, t := range a.ShortTemplates {
+		x.shortOffs[i] = off
+		off += uvarintLen(uint64(len(t))) + int64(len(t))
+	}
+
+	off = uvarintLen(uint64(len(a.LongTemplates)))
+	x.longOffs = make([]int64, len(a.LongTemplates))
+	for i, t := range a.LongTemplates {
+		x.longOffs[i] = off
+		off += uvarintLen(uint64(len(t.F))) + int64(len(t.F))
+		for _, g := range t.Gaps {
+			off += uvarintLen(uint64(g / time.Microsecond))
+		}
+	}
+
+	// Flow groups and address postings over the time-seq section.
+	x.postings = make([][]uint32, len(a.Addresses))
+	off = uvarintLen(uint64(len(recs)))
+	prevUS := int64(0)
+	for i := range recs {
+		if i%x.groupSize == 0 {
+			x.groups = append(x.groups, groupInfo{off: off, startRec: i})
+		}
+		g := len(x.groups) - 1
+		var n int64
+		n, prevUS = timeSeqRecordLen(&recs[i], prevUS)
+		off += n
+		if x.groups[g].count == 0 {
+			x.groups[g].firstUS = uint64(prevUS)
+		}
+		x.groups[g].count++
+		x.groups[g].lastUS = uint64(prevUS)
+		p := x.postings[recs[i].Addr]
+		if len(p) == 0 || p[len(p)-1] != uint32(g) {
+			x.postings[recs[i].Addr] = append(p, uint32(g))
+		}
+	}
+	return x
+}
+
+// encodePayload serializes the footer payload (everything the trailer's CRC
+// covers). The section lengths must already be filled in.
+func (x *archiveIndex) encodePayload() []byte {
+	var w uvarintBuf
+	w.uvarint(uint64(indexVersion))
+	w.uvarint(uint64(x.groupSize))
+	w.uvarint(uint64(x.flows))
+	for _, v := range []int64{
+		x.sections.Header, x.sections.ShortTemplates, x.sections.LongTemplates,
+		x.sections.Addresses, x.sections.TimeSeq,
+	} {
+		w.uvarint(uint64(v))
+	}
+	deltas := func(offs []int64) {
+		w.uvarint(uint64(len(offs)))
+		prev := int64(0)
+		for _, o := range offs {
+			w.uvarint(uint64(o - prev))
+			prev = o
+		}
+	}
+	deltas(x.shortOffs)
+	deltas(x.longOffs)
+	w.uvarint(uint64(len(x.groups)))
+	prevOff, prevLastUS := int64(0), uint64(0)
+	for _, g := range x.groups {
+		w.uvarint(uint64(g.off - prevOff))
+		w.uvarint(uint64(g.count))
+		w.uvarint(g.firstUS - prevLastUS)
+		w.uvarint(g.lastUS - g.firstUS)
+		prevOff, prevLastUS = g.off, g.lastUS
+	}
+	w.uvarint(uint64(len(x.postings)))
+	for _, p := range x.postings {
+		w.uvarint(uint64(len(p)))
+		prev := uint32(0)
+		for _, g := range p {
+			w.uvarint(uint64(g - prev))
+			prev = g
+		}
+	}
+	return w.buf
+}
+
+// uvarintBuf is a minimal append-only uvarint writer.
+type uvarintBuf struct {
+	buf     []byte
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (w *uvarintBuf) uvarint(v uint64) {
+	n := binary.PutUvarint(w.scratch[:], v)
+	w.buf = append(w.buf, w.scratch[:n]...)
+}
+
+// encodeTrailer returns the 12-byte self-locating trailer for a payload.
+func encodeTrailer(payload []byte) []byte {
+	t := make([]byte, trailerLen)
+	binary.LittleEndian.PutUint32(t[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(t[4:8], uint32(len(payload)))
+	copy(t[8:12], indexMagic[:])
+	return t
+}
+
+// indexReader parses the footer payload with bounds checking.
+type indexReader struct {
+	b []byte
+}
+
+func (r *indexReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated %s", ErrBadIndex, what)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *indexReader) count(what string, limit uint64) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > limit {
+		return 0, fmt.Errorf("%w: %s %d exceeds sanity bound %d", ErrBadIndex, what, v, limit)
+	}
+	return int(v), nil
+}
+
+// parseArchiveIndex decodes and validates a footer payload. size is the
+// total container size; the section lengths plus magic, payload and trailer
+// must tile it exactly.
+func parseArchiveIndex(payload []byte, size int64) (*archiveIndex, error) {
+	r := &indexReader{b: payload}
+	ver, err := r.uvarint("index version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != indexVersion {
+		return nil, fmt.Errorf("%w: unsupported index version %d", ErrBadIndex, ver)
+	}
+	x := &archiveIndex{}
+	gs, err := r.count("group size", maxCount)
+	if err != nil {
+		return nil, err
+	}
+	if gs < 1 {
+		return nil, fmt.Errorf("%w: group size %d", ErrBadIndex, gs)
+	}
+	x.groupSize = gs
+	if x.flows, err = r.count("flow count", maxCount); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*int64{
+		&x.sections.Header, &x.sections.ShortTemplates, &x.sections.LongTemplates,
+		&x.sections.Addresses, &x.sections.TimeSeq,
+	} {
+		v, err := r.uvarint("section length")
+		if err != nil {
+			return nil, err
+		}
+		if v > uint64(size) {
+			return nil, fmt.Errorf("%w: section length %d exceeds container size %d", ErrBadIndex, v, size)
+		}
+		*dst = int64(v)
+	}
+	// The header section size includes the 5 magic/version bytes (the
+	// encoder counts every byte written before the first section flush), so
+	// the sections plus footer must tile the container exactly.
+	if got := x.sections.Header + x.sections.ShortTemplates +
+		x.sections.LongTemplates + x.sections.Addresses + x.sections.TimeSeq +
+		int64(len(payload)) + trailerLen; got != size {
+		return nil, fmt.Errorf("%w: sections sum to %d bytes, container has %d", ErrBadIndex, got, size)
+	}
+	if x.sections.Header < int64(len(magic))+1 {
+		return nil, fmt.Errorf("%w: header section of %d bytes", ErrBadIndex, x.sections.Header)
+	}
+
+	offsets := func(what string, sectionLen int64) ([]int64, error) {
+		n, err := r.count(what, maxCount)
+		if err != nil {
+			return nil, err
+		}
+		offs := make([]int64, 0, min(n, 1<<16))
+		prev := int64(0)
+		for i := 0; i < n; i++ {
+			d, err := r.uvarint(what)
+			if err != nil {
+				return nil, err
+			}
+			prev += int64(d)
+			if prev < 0 || prev >= sectionLen {
+				return nil, fmt.Errorf("%w: %s offset %d outside %d-byte section", ErrBadIndex, what, prev, sectionLen)
+			}
+			offs = append(offs, prev)
+		}
+		return offs, nil
+	}
+	if x.shortOffs, err = offsets("short template offset", x.sections.ShortTemplates); err != nil {
+		return nil, err
+	}
+	if x.longOffs, err = offsets("long template offset", x.sections.LongTemplates); err != nil {
+		return nil, err
+	}
+
+	nGroups, err := r.count("group count", maxCount)
+	if err != nil {
+		return nil, err
+	}
+	x.groups = make([]groupInfo, 0, min(nGroups, 1<<16))
+	prevOff, prevLastUS, rec := int64(0), uint64(0), 0
+	for i := 0; i < nGroups; i++ {
+		var g groupInfo
+		d, err := r.uvarint("group offset")
+		if err != nil {
+			return nil, err
+		}
+		g.off = prevOff + int64(d)
+		if g.off < 0 || g.off >= x.sections.TimeSeq {
+			return nil, fmt.Errorf("%w: group %d offset %d outside %d-byte time-seq section",
+				ErrBadIndex, i, g.off, x.sections.TimeSeq)
+		}
+		if g.count, err = r.count("group record count", uint64(x.flows)); err != nil {
+			return nil, err
+		}
+		if g.count < 1 {
+			return nil, fmt.Errorf("%w: empty group %d", ErrBadIndex, i)
+		}
+		first, err := r.uvarint("group first timestamp")
+		if err != nil {
+			return nil, err
+		}
+		span, err := r.uvarint("group timestamp span")
+		if err != nil {
+			return nil, err
+		}
+		g.firstUS = prevLastUS + first
+		g.lastUS = g.firstUS + span
+		g.startRec = rec
+		rec += g.count
+		prevOff, prevLastUS = g.off, g.lastUS
+		x.groups = append(x.groups, g)
+	}
+	if rec != x.flows {
+		return nil, fmt.Errorf("%w: groups cover %d records, index claims %d", ErrBadIndex, rec, x.flows)
+	}
+
+	nAddrs, err := r.count("address count", maxCount)
+	if err != nil {
+		return nil, err
+	}
+	x.postings = make([][]uint32, 0, min(nAddrs, 1<<16))
+	for i := 0; i < nAddrs; i++ {
+		n, err := r.count("postings length", uint64(nGroups))
+		if err != nil {
+			return nil, err
+		}
+		p := make([]uint32, 0, n)
+		prev := uint64(0)
+		for j := 0; j < n; j++ {
+			d, err := r.uvarint("postings group id")
+			if err != nil {
+				return nil, err
+			}
+			g := prev + d
+			if j > 0 && d == 0 {
+				return nil, fmt.Errorf("%w: address %d postings not strictly increasing", ErrBadIndex, i)
+			}
+			if g >= uint64(nGroups) {
+				return nil, fmt.Errorf("%w: address %d references group %d of %d", ErrBadIndex, i, g, nGroups)
+			}
+			p = append(p, uint32(g))
+			prev = g
+		}
+		x.postings = append(x.postings, p)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing footer bytes", ErrBadIndex, len(r.b))
+	}
+	return x, nil
+}

@@ -36,6 +36,11 @@ type PipelineConfig struct {
 	// values are rounded up to a few packets per worker so chunks stay
 	// non-empty. The in-memory path (CompressTrace) ignores it.
 	MaxResident int
+	// Index selects the v2 container for the produced archive: Encode
+	// writes the footer index, enabling the OpenReader/ExtractFlows read
+	// path. The archive body — and therefore Decode — is identical either
+	// way.
+	Index IndexConfig
 	// Progress, when non-nil, is called synchronously from the streaming
 	// reader loop with the cumulative packet count — roughly once per source
 	// batch, and once more after the final packet.
@@ -78,7 +83,19 @@ func NewPipeline(opts Options, cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.MaxResident < 0 {
 		return nil, fmt.Errorf("core: pipeline max resident %d must be >= 0", cfg.MaxResident)
 	}
+	if err := cfg.Index.Validate(); err != nil {
+		return nil, err
+	}
 	return &Pipeline{opts: opts, cfg: cfg}, nil
+}
+
+// stamp applies pipeline-level archive settings to a produced archive.
+func (p *Pipeline) stamp(a *Archive, err error) (*Archive, error) {
+	if err != nil {
+		return nil, err
+	}
+	a.Index = p.cfg.Index
+	return a, nil
 }
 
 // Options returns the codec options the pipeline compresses with.
@@ -219,7 +236,7 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 	if p.cfg.Progress != nil {
 		p.cfg.Progress(gidx)
 	}
-	return mergeShards(int(gidx), p.opts, shards, shared, p.cfg.Stats)
+	return p.stamp(mergeShards(int(gidx), p.opts, shards, shared, p.cfg.Stats))
 }
 
 // CompressTrace runs the in-memory sharded pipeline over a materialized
@@ -233,7 +250,7 @@ func (p *Pipeline) CompressTrace(tr *trace.Trace) (*Archive, error) {
 		*p.cfg.Stats = ParallelStats{Workers: workers}
 	}
 	if workers == 1 {
-		return Compress(tr, p.opts)
+		return p.stamp(Compress(tr, p.opts))
 	}
 	if !tr.IsSorted() {
 		return nil, notSortedError(tr)
@@ -274,7 +291,7 @@ func (p *Pipeline) CompressTrace(tr *trace.Trace) (*Archive, error) {
 	}
 	wg.Wait()
 
-	return mergeShards(tr.Len(), p.opts, shards, shared, p.cfg.Stats)
+	return p.stamp(mergeShards(tr.Len(), p.opts, shards, shared, p.cfg.Stats))
 }
 
 // clampWorkers maps a legacy worker count onto the strict PipelineConfig

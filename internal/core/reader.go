@@ -1,0 +1,622 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowzip/internal/flow"
+	"flowzip/internal/pkt"
+	"flowzip/internal/radix"
+	"flowzip/internal/stats"
+	"flowzip/internal/trace"
+)
+
+// FlowFilter selects flows from an indexed archive. The zero value matches
+// every flow.
+type FlowFilter struct {
+	// Prefix and PrefixLen select flows whose server address lies under the
+	// given IPv4 prefix (the 5-tuple-prefix query of the read path).
+	// PrefixLen 0 matches every address.
+	Prefix    pkt.IPv4
+	PrefixLen int
+	// From and To select flows whose first-packet timestamp lies in
+	// [From, To). To of 0 leaves the window open-ended.
+	From time.Duration
+	To   time.Duration
+}
+
+// Validate rejects malformed filters.
+func (f FlowFilter) Validate() error {
+	if f.PrefixLen < 0 || f.PrefixLen > 32 {
+		return fmt.Errorf("core: prefix length %d out of range", f.PrefixLen)
+	}
+	if f.From < 0 || f.To < 0 {
+		return fmt.Errorf("core: negative time window [%v, %v)", f.From, f.To)
+	}
+	if f.To != 0 && f.To <= f.From {
+		return fmt.Errorf("core: empty time window [%v, %v)", f.From, f.To)
+	}
+	return nil
+}
+
+// matchTime reports whether a flow starting at ts lies in the window.
+func (f FlowFilter) matchTime(ts time.Duration) bool {
+	return ts >= f.From && (f.To == 0 || ts < f.To)
+}
+
+// matchAddr reports whether ip lies under the filter prefix.
+func (f FlowFilter) matchAddr(ip pkt.IPv4) bool {
+	if f.PrefixLen == 0 {
+		return true
+	}
+	mask := ^uint32(0) << uint(32-f.PrefixLen)
+	return uint32(ip)&mask == uint32(f.Prefix)&mask
+}
+
+// ReaderStats counts the I/O a Reader performed, cumulatively since open.
+type ReaderStats struct {
+	// BytesRead is everything fetched from the underlying ReaderAt,
+	// including the open-time header, address and footer reads.
+	BytesRead int64
+	// OpenBytes is the fixed open-time cost: header section, address
+	// section and footer index.
+	OpenBytes int64
+	// BodyBytesRead is the flow data decoded on behalf of queries:
+	// time-seq groups, templates, and full-body reads by Decompress. This
+	// is the "bytes decoded" a selective query saves relative to a full
+	// decode.
+	BodyBytesRead int64
+	// GroupsDecoded and TemplatesLoaded count index-directed partial reads.
+	GroupsDecoded   int
+	TemplatesLoaded int
+	// FlowsMatched counts flows returned by ExtractFlows calls.
+	FlowsMatched int
+}
+
+// IndexStats describes the footer index of an open archive.
+type IndexStats struct {
+	GroupSize int
+	Groups    int
+	Flows     int
+	Addresses int
+	// ShortTemplates and LongTemplates are the indexed template counts.
+	ShortTemplates int
+	LongTemplates  int
+	// IndexBytes is the footer size (payload plus trailer), BodyBytes the
+	// v1-compatible body, ArchiveBytes the whole container.
+	IndexBytes   int64
+	BodyBytes    int64
+	ArchiveBytes int64
+	Sections     SectionSizes
+}
+
+// countingReaderAt counts bytes fetched through an io.ReaderAt.
+type countingReaderAt struct {
+	r io.ReaderAt
+	n atomic.Int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.r.ReadAt(p, off)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// Reader is the indexed read path over a v2 archive: it opens the container
+// through an io.ReaderAt by reading only the header, the address dataset and
+// the footer index, then serves selective (ExtractFlows) and parallel
+// (DecompressParallel) decodes that fetch just the flow groups and templates
+// they touch. A Reader is safe for concurrent use.
+type Reader struct {
+	src    *countingReaderAt
+	size   int64
+	closer io.Closer
+
+	idx     *archiveIndex
+	opts    Options
+	srcPkts int64
+	srcTSH  int64
+
+	// Absolute offsets of the body sections.
+	shortOff, longOff, addrOff, timeseqOff int64
+
+	addrs []pkt.IPv4
+	tree  *radix.Tree // /32 per address, next hop = address id
+
+	mu sync.Mutex
+	// arch holds the lazily loaded template caches (plus addresses and
+	// options) in Archive shape so the decompressor machinery applies
+	// unchanged; TimeSeq stays empty.
+	arch        *Archive
+	shortLoaded []bool
+	longLoaded  []bool
+	bodyBytes   int64
+	openBytes   int64
+	groupsRead  int
+	tplRead     int
+	flowsOut    int
+}
+
+// OpenReader opens an indexed (v2) archive of the given size through src.
+// Only the header, address dataset and footer index are read — the flow
+// body stays on storage until a query touches it. A v1 archive returns
+// ErrNoIndex (decode it with Decode); a corrupt footer returns ErrBadIndex.
+func OpenReader(src io.ReaderAt, size int64) (*Reader, error) {
+	r := &Reader{src: &countingReaderAt{r: src}, size: size}
+	if err := r.open(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// OpenReaderFile opens an indexed archive file; Close releases it.
+func OpenReaderFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := OpenReader(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// Close releases the underlying file, when the Reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// readAt fetches an exact range.
+func (r *Reader) readAt(off, n int64) ([]byte, error) {
+	if n < 0 || off < 0 || off+n > r.size {
+		return nil, fmt.Errorf("%w: read [%d,%d) outside %d-byte container", ErrBadIndex, off, off+n, r.size)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(r.src, off, n), b); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndex, err)
+	}
+	return b, nil
+}
+
+func (r *Reader) open() error {
+	if r.size < int64(len(magic))+1+trailerLen {
+		return fmt.Errorf("%w: %d-byte container", ErrBadArchive, r.size)
+	}
+	head, err := r.readAt(0, int64(len(magic))+1)
+	if err != nil {
+		return err
+	}
+	if [4]byte(head[:4]) != magic {
+		return ErrBadArchive
+	}
+	switch head[4] {
+	case 1:
+		return ErrNoIndex
+	case 2:
+	default:
+		return fmt.Errorf("%w: unsupported version %d", ErrBadArchive, head[4])
+	}
+
+	// Self-locating trailer, then the CRC-protected payload above it.
+	tb, err := r.readAt(r.size-trailerLen, trailerLen)
+	if err != nil {
+		return err
+	}
+	if [4]byte(tb[8:12]) != indexMagic {
+		return fmt.Errorf("%w: footer magic missing", ErrBadIndex)
+	}
+	plen := int64(binary.LittleEndian.Uint32(tb[4:8]))
+	if plen > r.size-trailerLen-int64(len(magic))-1 {
+		return fmt.Errorf("%w: footer of %d bytes in %d-byte container", ErrBadIndex, plen, r.size)
+	}
+	payload, err := r.readAt(r.size-trailerLen-plen, plen)
+	if err != nil {
+		return err
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(tb[0:4]); got != want {
+		return fmt.Errorf("%w: footer checksum %08x, want %08x", ErrBadIndex, got, want)
+	}
+	if r.idx, err = parseArchiveIndex(payload, r.size); err != nil {
+		return err
+	}
+	r.idx.sections.Index = plen + trailerLen
+
+	// Header section: the 5 magic bytes then 7 uvarints, exactly.
+	hb, err := r.readAt(0, r.idx.sections.Header)
+	if err != nil {
+		return err
+	}
+	hr := &indexReader{b: hb[len(magic)+1:]}
+	var hdr [7]uint64
+	for i := range hdr {
+		if hdr[i], err = hr.uvarint("header field"); err != nil {
+			return err
+		}
+	}
+	if len(hr.b) != 0 {
+		return fmt.Errorf("%w: %d trailing header bytes", ErrBadIndex, len(hr.b))
+	}
+	r.opts = DefaultOptions()
+	r.opts.Weights = flow.Weights{Flag: int(hdr[0]), Dep: int(hdr[1]), Size: int(hdr[2])}
+	r.opts.ShortMax = int(hdr[3])
+	r.opts.LimitPct = float64(hdr[4]) / 100
+	r.srcPkts = int64(hdr[5])
+	r.srcTSH = int64(hdr[6])
+	if err := r.opts.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
+
+	r.shortOff = r.idx.sections.Header
+	r.longOff = r.shortOff + r.idx.sections.ShortTemplates
+	r.addrOff = r.longOff + r.idx.sections.LongTemplates
+	r.timeseqOff = r.addrOff + r.idx.sections.Addresses
+
+	// Address dataset: small (unique servers), needed by every query, so it
+	// loads eagerly and doubles as the radix index's key set.
+	ab, err := r.readAt(r.addrOff, r.idx.sections.Addresses)
+	if err != nil {
+		return err
+	}
+	ar := &indexReader{b: ab}
+	nAddr, err := ar.count("address count", maxCount)
+	if err != nil {
+		return err
+	}
+	if nAddr != len(r.idx.postings) {
+		return fmt.Errorf("%w: body has %d addresses, index %d", ErrBadIndex, nAddr, len(r.idx.postings))
+	}
+	if len(ar.b) != 4*nAddr {
+		return fmt.Errorf("%w: address section has %d bytes for %d addresses", ErrBadIndex, len(ar.b), nAddr)
+	}
+	r.addrs = make([]pkt.IPv4, nAddr)
+	r.tree = radix.New()
+	for i := range r.addrs {
+		ip := pkt.IPv4(binary.BigEndian.Uint32(ar.b[4*i:]))
+		r.addrs[i] = ip
+		if _, dup := r.tree.Lookup(uint32(ip)); dup {
+			return fmt.Errorf("%w: duplicate address %v", ErrBadIndex, ip)
+		}
+		if err := r.tree.Insert(uint32(ip), 32, uint32(i)); err != nil {
+			return err
+		}
+	}
+
+	r.arch = &Archive{
+		ShortTemplates: make([]flow.Vector, len(r.idx.shortOffs)),
+		LongTemplates:  make([]LongTemplate, len(r.idx.longOffs)),
+		Addresses:      r.addrs,
+		Opts:           r.opts,
+		SourcePackets:  r.srcPkts,
+		SourceTSHBytes: r.srcTSH,
+		Index:          IndexConfig{Enabled: true, GroupSize: r.idx.groupSize},
+	}
+	r.shortLoaded = make([]bool, len(r.idx.shortOffs))
+	r.longLoaded = make([]bool, len(r.idx.longOffs))
+	r.openBytes = r.src.n.Load()
+	return nil
+}
+
+// Options returns the codec options the archive was produced with.
+func (r *Reader) Options() Options { return r.opts }
+
+// Flows returns the archive's flow count, from the index.
+func (r *Reader) Flows() int { return r.idx.flows }
+
+// IndexStats describes the footer index.
+func (r *Reader) IndexStats() IndexStats {
+	s := r.idx.sections
+	return IndexStats{
+		GroupSize:      r.idx.groupSize,
+		Groups:         len(r.idx.groups),
+		Flows:          r.idx.flows,
+		Addresses:      len(r.addrs),
+		ShortTemplates: len(r.idx.shortOffs),
+		LongTemplates:  len(r.idx.longOffs),
+		IndexBytes:     s.Index,
+		BodyBytes:      s.Total() - s.Index,
+		ArchiveBytes:   r.size,
+		Sections:       s,
+	}
+}
+
+// Stats returns the cumulative I/O counters.
+func (r *Reader) Stats() ReaderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReaderStats{
+		BytesRead:       r.src.n.Load(),
+		OpenBytes:       r.openBytes,
+		BodyBytesRead:   r.bodyBytes,
+		GroupsDecoded:   r.groupsRead,
+		TemplatesLoaded: r.tplRead,
+		FlowsMatched:    r.flowsOut,
+	}
+}
+
+// sectionEnd returns the offset one past template i in a section described
+// by offs and sectionLen.
+func sectionEnd(offs []int64, i int, sectionLen int64) int64 {
+	if i+1 < len(offs) {
+		return offs[i+1]
+	}
+	return sectionLen
+}
+
+// loadShort loads short template id into the cache. Callers hold r.mu.
+func (r *Reader) loadShort(id int) error {
+	if r.shortLoaded[id] {
+		return nil
+	}
+	off := r.idx.shortOffs[id]
+	end := sectionEnd(r.idx.shortOffs, id, r.idx.sections.ShortTemplates)
+	b, err := r.readAt(r.shortOff+off, end-off)
+	if err != nil {
+		return err
+	}
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) != n {
+		return fmt.Errorf("%w: short template %d spans %d bytes for %d values", ErrBadIndex, id, len(b), n)
+	}
+	r.arch.ShortTemplates[id] = flow.Vector(b[sz:])
+	r.shortLoaded[id] = true
+	r.bodyBytes += int64(len(b))
+	r.tplRead++
+	return nil
+}
+
+// loadLong loads long template id into the cache. Callers hold r.mu.
+func (r *Reader) loadLong(id int) error {
+	if r.longLoaded[id] {
+		return nil
+	}
+	off := r.idx.longOffs[id]
+	end := sectionEnd(r.idx.longOffs, id, r.idx.sections.LongTemplates)
+	b, err := r.readAt(r.longOff+off, end-off)
+	if err != nil {
+		return err
+	}
+	ir := &indexReader{b: b}
+	n, err := ir.count("long template length", maxCount)
+	if err != nil {
+		return err
+	}
+	if n < 1 || n > len(ir.b) {
+		return fmt.Errorf("%w: long template %d has %d values in %d bytes", ErrBadIndex, id, n, len(ir.b))
+	}
+	f := flow.Vector(ir.b[:n])
+	ir.b = ir.b[n:]
+	gaps := make([]time.Duration, 0, min(n-1, allocCap))
+	for g := 0; g < n-1; g++ {
+		us, err := ir.uvarint("long template gap")
+		if err != nil {
+			return err
+		}
+		gaps = append(gaps, time.Duration(us)*time.Microsecond)
+	}
+	if len(ir.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after long template %d", ErrBadIndex, len(ir.b), id)
+	}
+	r.arch.LongTemplates[id] = LongTemplate{F: f, Gaps: gaps}
+	r.longLoaded[id] = true
+	r.bodyBytes += int64(len(b))
+	r.tplRead++
+	return nil
+}
+
+// selectGroups returns the ids of the flow groups a filter can touch,
+// ascending: the time window prunes by the group first/last timestamps, the
+// address prefix prunes through the radix index and the per-address group
+// postings.
+func (r *Reader) selectGroups(f FlowFilter) []int {
+	groups := r.idx.groups
+	// Both firstUS and lastUS are non-decreasing across groups, so the time
+	// window selects a contiguous group range.
+	lo := 0
+	if f.From > 0 {
+		lo = sort.Search(len(groups), func(i int) bool {
+			return time.Duration(groups[i].lastUS)*time.Microsecond >= f.From
+		})
+	}
+	hi := len(groups)
+	if f.To > 0 {
+		hi = sort.Search(len(groups), func(i int) bool {
+			return time.Duration(groups[i].firstUS)*time.Microsecond >= f.To
+		})
+	}
+	if lo >= hi {
+		return nil
+	}
+	if f.PrefixLen == 0 {
+		ids := make([]int, 0, hi-lo)
+		for g := lo; g < hi; g++ {
+			ids = append(ids, g)
+		}
+		return ids
+	}
+	sel := make([]bool, len(groups))
+	r.tree.WalkPrefix(uint32(f.Prefix), f.PrefixLen, func(_ uint32, _ int, addrID uint32) {
+		for _, g := range r.idx.postings[addrID] {
+			sel[g] = true
+		}
+	})
+	ids := make([]int, 0, hi-lo)
+	for g := lo; g < hi; g++ {
+		if sel[g] {
+			ids = append(ids, g)
+		}
+	}
+	return ids
+}
+
+// decodeGroup parses flow group g and appends cursors for the records
+// matching f. rng must be positioned at the group's first record; pos is
+// maintained by the caller. Callers hold r.mu.
+func (r *Reader) decodeGroup(d *Decompressor, g int, f FlowFilter, rng *stats.RNG, cursors []*flowCursor) ([]*flowCursor, error) {
+	gi := r.idx.groups[g]
+	end := int64(r.idx.sections.TimeSeq)
+	if g+1 < len(r.idx.groups) {
+		end = r.idx.groups[g+1].off
+	}
+	b, err := r.readAt(r.timeseqOff+gi.off, end-gi.off)
+	if err != nil {
+		return nil, err
+	}
+	r.bodyBytes += int64(len(b))
+	r.groupsRead++
+	ir := &indexReader{b: b}
+	prev := time.Duration(r.idx.baseUS(g)) * time.Microsecond
+	for j := 0; j < gi.count; j++ {
+		var vals [4]uint64
+		for k := range vals {
+			if vals[k], err = ir.uvarint("time-seq field"); err != nil {
+				return nil, err
+			}
+		}
+		prev += time.Duration(vals[0]) * time.Microsecond
+		rec := TimeSeqRecord{
+			FirstTS:  prev,
+			Long:     vals[1]&1 == 1,
+			Template: uint32(vals[1] >> 1),
+			RTT:      time.Duration(vals[2]) * time.Microsecond,
+			Addr:     uint32(vals[3]),
+		}
+		if int(rec.Addr) >= len(r.addrs) {
+			return nil, fmt.Errorf("%w: group %d references address %d of %d", ErrBadIndex, g, rec.Addr, len(r.addrs))
+		}
+		tplCount := len(r.idx.shortOffs)
+		if rec.Long {
+			tplCount = len(r.idx.longOffs)
+		}
+		if int(rec.Template) >= tplCount {
+			return nil, fmt.Errorf("%w: group %d references template %d of %d", ErrBadIndex, g, rec.Template, tplCount)
+		}
+		if j == 0 && prev != time.Duration(gi.firstUS)*time.Microsecond {
+			return nil, fmt.Errorf("%w: group %d starts at %v, index says %v", ErrBadIndex, g, prev, time.Duration(gi.firstUS)*time.Microsecond)
+		}
+		// The identity draw happens for every record, matched or not, to
+		// keep the RNG stream aligned with the serial decode.
+		id := drawIdentity(rng)
+		if f.matchTime(rec.FirstTS) && f.matchAddr(r.addrs[rec.Addr]) {
+			if rec.Long {
+				err = r.loadLong(int(rec.Template))
+			} else {
+				err = r.loadShort(int(rec.Template))
+			}
+			if err != nil {
+				return nil, err
+			}
+			cursors = append(cursors, d.newCursor(&rec, gi.startRec+j, id))
+		}
+	}
+	if len(ir.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in group %d", ErrBadIndex, len(ir.b), g)
+	}
+	if prev != time.Duration(gi.lastUS)*time.Microsecond {
+		return nil, fmt.Errorf("%w: group %d ends at %v, index says %v", ErrBadIndex, g, prev, time.Duration(gi.lastUS)*time.Microsecond)
+	}
+	return cursors, nil
+}
+
+// ExtractFlows decodes only the flows matching the filter, reading just the
+// flow groups and templates the index maps to it. The returned packets are
+// exactly the matching flows' packets of the full Decompress output, in the
+// same order — the identity RNG is fast-forwarded per skipped record, and
+// the merge order is the serial decode's (timestamp, record) order.
+func (r *Reader) ExtractFlows(f FlowFilter) (*trace.Trace, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	groups := r.selectGroups(f)
+
+	r.mu.Lock()
+	rng := stats.NewRNG(r.opts.Seed)
+	d := &Decompressor{archive: r.arch, rng: rng}
+	var cursors []*flowCursor
+	pos := 0
+	var err error
+	for _, g := range groups {
+		gi := r.idx.groups[g]
+		rngSkipRecords(rng, gi.startRec-pos)
+		if cursors, err = r.decodeGroup(d, g, f, rng, cursors); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		pos = gi.startRec + gi.count
+	}
+	r.flowsOut += len(cursors)
+	r.mu.Unlock()
+
+	tr := trace.New("extract")
+	mergeCursors(len(cursors),
+		func(i int) *flowCursor { return cursors[i] },
+		func(i int) time.Duration { return cursors[i].spec.start },
+		tr.Append)
+	return tr, nil
+}
+
+// bodyReaderAt counts body reads of the full-decode path.
+type bodyReaderAt struct {
+	r *Reader
+}
+
+func (b bodyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := b.r.src.ReadAt(p, off)
+	b.r.mu.Lock()
+	b.r.bodyBytes += int64(n)
+	b.r.mu.Unlock()
+	return n, err
+}
+
+// decodeBody reads and decodes the whole v1-compatible body.
+func (r *Reader) decodeBody() (*Archive, error) {
+	bodyEnd := r.idx.sections.Total() - r.idx.sections.Index
+	return Decode(io.NewSectionReader(bodyReaderAt{r}, 0, bodyEnd))
+}
+
+// Decompress decodes the whole archive serially, like Decode+Decompress.
+func (r *Reader) Decompress() (*trace.Trace, error) {
+	a, err := r.decodeBody()
+	if err != nil {
+		return nil, err
+	}
+	return Decompress(a)
+}
+
+// DecompressParallel decodes the whole archive with workers concurrent
+// decoders (0 means one per CPU), packet-identical to Decompress.
+func (r *Reader) DecompressParallel(workers int) (*trace.Trace, error) {
+	a, err := r.decodeBody()
+	if err != nil {
+		return nil, err
+	}
+	return DecompressParallel(a, workers)
+}
+
+// ExtractFlows is the one-call selective decode over an indexed archive:
+// open src and return only the flows matching the filter, without reading
+// the rest of the body. See Reader.ExtractFlows.
+func ExtractFlows(src io.ReaderAt, size int64, f FlowFilter) (*trace.Trace, error) {
+	r, err := OpenReader(src, size)
+	if err != nil {
+		return nil, err
+	}
+	return r.ExtractFlows(f)
+}

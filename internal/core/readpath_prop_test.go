@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"flowzip/internal/pkt"
+	"flowzip/internal/stats"
+	"flowzip/internal/trace"
+)
+
+// readFlowKey identifies one decompressed flow by the 5-tuple the
+// decompressor synthesizes for it: the client identity is drawn from a
+// 2^47-value space, so distinct records collide with negligible (and, per
+// fixed seed, reproducible) probability.
+type readFlowKey struct {
+	client pkt.IPv4
+	cport  uint16
+	server pkt.IPv4
+}
+
+// keyOf canonicalizes a packet to its flow key; the synthesized server side
+// always uses port 80 and client ports are ≥ 1024.
+func keyOf(p pkt.Packet) readFlowKey {
+	if p.SrcPort == 80 {
+		return readFlowKey{client: p.DstIP, cport: p.DstPort, server: p.SrcIP}
+	}
+	return readFlowKey{client: p.SrcIP, cport: p.SrcPort, server: p.DstIP}
+}
+
+// filterPackets computes the reference answer for a FlowFilter from the full
+// serial decompression: keep exactly the packets of flows whose first packet
+// lies in the time window and whose server address lies under the prefix.
+func filterPackets(full []pkt.Packet, f FlowFilter) []pkt.Packet {
+	start := make(map[readFlowKey]time.Duration)
+	for _, p := range full {
+		k := keyOf(p)
+		if _, ok := start[k]; !ok {
+			start[k] = p.Timestamp
+		}
+	}
+	out := []pkt.Packet{}
+	for _, p := range full {
+		k := keyOf(p)
+		if f.matchTime(start[k]) && f.matchAddr(k.server) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// samePackets fails unless got and want are element-for-element identical.
+func samePackets(t *testing.T, what string, got, want []pkt.Packet) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d packets, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: packet %d = %+v, want %+v", what, i, got[i], want[i])
+		}
+	}
+}
+
+// floodTrace builds n single-packet flows sharing one timestamp — the
+// degenerate workload where merge order is decided entirely by tie-breaking.
+func floodTrace(n int) *trace.Trace {
+	tr := trace.New("flood")
+	for i := 0; i < n; i++ {
+		tr.Append(pkt.Packet{
+			Timestamp: time.Second,
+			SrcIP:     pkt.IPv4(0x0a000000 + uint32(i)),
+			DstIP:     pkt.IPv4(0xc0a80100 + uint32(i%7)),
+			SrcPort:   uint16(1024 + i%60000),
+			DstPort:   80,
+			Proto:     pkt.ProtoTCP,
+			Flags:     pkt.FlagSYN,
+			TTL:       64,
+			Window:    65535,
+		})
+	}
+	return tr
+}
+
+// readPathWorkloads returns the workload sweep of the read-path property
+// tests: the paper's three traffic shapes plus the one-packet-flow flood.
+func readPathWorkloads() map[string]*trace.Trace {
+	return map[string]*trace.Trace{
+		"web":     webTrace(31, 300),
+		"fractal": fractalTrace(32, 4000),
+		"p2p":     p2pTrace(33),
+		"flood":   floodTrace(1000),
+	}
+}
+
+// TestExtractFlowsMatchesFilteredDecompress is the selective-decode property:
+// for every address prefix length and a sweep of time windows, ExtractFlows
+// over the index returns exactly the packets that filtering the full serial
+// decompression by flow would.
+func TestExtractFlowsMatchesFilteredDecompress(t *testing.T) {
+	for name, tr := range readPathWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			a, err := Compress(tr, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Decompress(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2 := indexedArchive(t, a, IndexConfig{Enabled: true, GroupSize: 16})
+			r, err := OpenReader(bytes.NewReader(v2), int64(len(v2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(f FlowFilter) {
+				t.Helper()
+				got, err := r.ExtractFlows(f)
+				if err != nil {
+					t.Fatalf("filter %+v: %v", f, err)
+				}
+				samePackets(t, fmt.Sprintf("filter %+v", f), got.Packets, filterPackets(full.Packets, f))
+			}
+
+			// Every prefix length, anchored at two archive addresses —
+			// sweeping from match-all through /32 exact matches.
+			anchors := []pkt.IPv4{a.Addresses[0], a.Addresses[len(a.Addresses)/2]}
+			for _, ip := range anchors {
+				for plen := 0; plen <= 32; plen++ {
+					check(FlowFilter{Prefix: ip, PrefixLen: plen})
+				}
+			}
+			// A prefix matching no archive address at all.
+			check(FlowFilter{Prefix: pkt.IPv4(0x01010101), PrefixLen: 32})
+
+			// Time windows across the trace span, including empty and
+			// open-ended ones, alone and combined with a prefix.
+			span := full.Packets[len(full.Packets)-1].Timestamp
+			q1, q3 := span/4, 3*span/4
+			windows := []FlowFilter{
+				{},
+				{To: q1 + 1},
+				{From: q1},
+				{From: q1, To: q3 + 1},
+				{From: span + time.Second},
+				{To: 1},
+			}
+			for _, f := range windows {
+				check(f)
+				f.Prefix, f.PrefixLen = anchors[1], 16
+				check(f)
+			}
+		})
+	}
+}
+
+// TestDecompressParallelMatchesSerial pins the parallel full decode to the
+// serial output for every worker count, across all workloads.
+func TestDecompressParallelMatchesSerial(t *testing.T) {
+	for name, tr := range readPathWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			a, err := Compress(tr, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Decompress(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				got, err := DecompressParallel(a, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				samePackets(t, fmt.Sprintf("%d workers", workers), got.Packets, want.Packets)
+			}
+			// 0 selects one worker per CPU; whatever that resolves to, the
+			// output contract is the same.
+			got, err := DecompressParallel(a, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePackets(t, "default workers", got.Packets, want.Packets)
+		})
+	}
+}
+
+// TestIdentityDrawsPinned pins the identityDraws contract: drawIdentity must
+// consume exactly that many RNG values, because rngSkipRecords fast-forwards
+// the stream arithmetically when the reader skips records.
+func TestIdentityDrawsPinned(t *testing.T) {
+	a, b := stats.NewRNG(99), stats.NewRNG(99)
+	drawIdentity(a)
+	for i := 0; i < identityDraws; i++ {
+		b.Uint64()
+	}
+	for i := 0; i < 16; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("RNG streams diverge %d values after drawIdentity: %d != %d — identityDraws is wrong", i, x, y)
+		}
+	}
+}
+
+// TestRNGSkipRecordsMatchesDraws checks the skip helper against real draws.
+func TestRNGSkipRecordsMatchesDraws(t *testing.T) {
+	a, b := stats.NewRNG(7), stats.NewRNG(7)
+	const n = 13
+	for i := 0; i < n; i++ {
+		drawIdentity(a)
+	}
+	rngSkipRecords(b, n)
+	if x, y := a.Uint64(), b.Uint64(); x != y {
+		t.Fatalf("rngSkipRecords(%d) lands elsewhere than %d drawIdentity calls: %d != %d", n, n, x, y)
+	}
+}

@@ -588,6 +588,13 @@ func decodeFlow(s *sectionReader, h *ShardHeader) (core.ShardFlow, error) {
 			return f, err
 		}
 		f.LongF = flow.Vector(append([]byte(nil), b...))
+		// Each gap costs at least one byte on the wire, so the vector length
+		// cannot imply more gaps than the section has bytes left — checked
+		// before the allocation, so a crafted length cannot demand
+		// gigabytes.
+		if n-1 > len(s.b) {
+			return f, fmt.Errorf("%w: %d gaps exceed a %d-byte flows section", ErrBadShard, n-1, len(s.b))
+		}
 		f.Gaps = make([]time.Duration, n-1)
 		for g := range f.Gaps {
 			v, err := s.duration()

@@ -232,6 +232,50 @@ func (t *Tree) Walk(visit func(prefix uint32, plen int, nextHop uint32)) {
 	rec(t.root, 0, 0)
 }
 
+// WalkPrefix visits, in address order, every installed entry whose prefix
+// is contained in (i.e. extends or equals) the query prefix of plen bits.
+// It is the subtree enumeration behind 5-tuple-prefix queries over the
+// archive index: install /32 server addresses, query any shorter prefix,
+// and collect the matching address set. plen must be in [0, 32]; host bits
+// below plen are ignored. Walking is uninstrumented, like the build phase.
+func (t *Tree) WalkPrefix(prefix uint32, plen int, visit func(prefix uint32, plen int, nextHop uint32)) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("radix: prefix length %d out of range", plen)
+	}
+	// Descend to the node at the query prefix; no descendants exist if the
+	// path is absent.
+	n := t.root
+	base := uint32(0)
+	for i := 0; i < plen; i++ {
+		bit := prefix >> uint(31-i) & 1
+		if bit == 0 {
+			n = n.left
+		} else {
+			n = n.right
+			base |= 1 << uint(31-i)
+		}
+		if n == nil {
+			return nil
+		}
+	}
+	var rec func(n *node, prefix uint32, depth int)
+	rec = func(n *node, prefix uint32, depth int) {
+		if n == nil {
+			return
+		}
+		if n.hasEntry {
+			visit(prefix, depth, n.nextHop)
+		}
+		if depth == 32 {
+			return
+		}
+		rec(n.left, prefix, depth+1)
+		rec(n.right, prefix|1<<uint(31-depth), depth+1)
+	}
+	rec(n, base, plen)
+	return nil
+}
+
 // Route is one forwarding-table entry.
 type Route struct {
 	Prefix  uint32

@@ -1,0 +1,111 @@
+package radix
+
+import (
+	"reflect"
+	"testing"
+
+	"flowzip/internal/stats"
+)
+
+func TestWalkPrefixSubtree(t *testing.T) {
+	tr := New()
+	addrs := []uint32{
+		0x0a000001, // 10.0.0.1
+		0x0a000002, // 10.0.0.2
+		0x0a010000, // 10.1.0.0
+		0x0b000001, // 11.0.0.1
+		0xc0a80101, // 192.168.1.1
+	}
+	for i, a := range addrs {
+		if err := tr.Insert(a, 32, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(prefix uint32, plen int) []uint32 {
+		var hops []uint32
+		if err := tr.WalkPrefix(prefix, plen, func(_ uint32, _ int, hop uint32) {
+			hops = append(hops, hop)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return hops
+	}
+
+	for _, tc := range []struct {
+		prefix uint32
+		plen   int
+		want   []uint32
+	}{
+		{0, 0, []uint32{0, 1, 2, 3, 4}},    // match-all
+		{0x0a000000, 8, []uint32{0, 1, 2}}, // 10/8
+		{0x0a000000, 16, []uint32{0, 1}},   // 10.0/16
+		{0x0a000000, 24, []uint32{0, 1}},   // 10.0.0/24
+		{0x0a000001, 32, []uint32{0}},      // exact host
+		{0x0a010000, 16, []uint32{2}},      // 10.1/16
+		{0xc0000000, 2, []uint32{4}},       // class C space
+		{0x7f000000, 8, nil},               // empty subtree
+		{0x0a000003, 32, nil},              // absent host
+	} {
+		if got := collect(tc.prefix, tc.plen); !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("WalkPrefix(%08x/%d) = %v, want %v", tc.prefix, tc.plen, got, tc.want)
+		}
+	}
+
+	// Host bits below plen are ignored, as in Insert.
+	if got := collect(0x0affffff, 8); !reflect.DeepEqual(got, []uint32{0, 1, 2}) {
+		t.Fatalf("host bits not masked: %v", got)
+	}
+
+	if err := tr.WalkPrefix(0, 33, func(uint32, int, uint32) {}); err == nil {
+		t.Fatal("plen 33 accepted")
+	}
+	if err := tr.WalkPrefix(0, -1, func(uint32, int, uint32) {}); err == nil {
+		t.Fatal("plen -1 accepted")
+	}
+}
+
+// TestWalkPrefixMatchesWalk cross-checks the subtree walk against filtering
+// the full walk, over a generated table of mixed-length prefixes.
+func TestWalkPrefixMatchesWalk(t *testing.T) {
+	tr := New()
+	rng := stats.NewRNG(5)
+	for _, r := range GenerateTable(rng, 500) {
+		if err := tr.Insert(r.Prefix, r.Plen, r.NextHop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type entry struct {
+		prefix uint32
+		plen   int
+		hop    uint32
+	}
+	var all []entry
+	tr.Walk(func(p uint32, l int, h uint32) { all = append(all, entry{p, l, h}) })
+
+	for _, q := range []struct {
+		prefix uint32
+		plen   int
+	}{
+		{0, 0}, {0x80000000, 1}, {0x0a000000, 8}, {0xc0a80000, 16}, {0xffffff00, 24},
+	} {
+		var want []entry
+		mask := uint32(0)
+		if q.plen > 0 {
+			mask = ^uint32(0) << uint(32-q.plen)
+		}
+		for _, e := range all {
+			if e.plen >= q.plen && e.prefix&mask == q.prefix&mask {
+				want = append(want, e)
+			}
+		}
+		var got []entry
+		if err := tr.WalkPrefix(q.prefix, q.plen, func(p uint32, l int, h uint32) {
+			got = append(got, entry{p, l, h})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("WalkPrefix(%08x/%d): %d entries, want %d", q.prefix, q.plen, len(got), len(want))
+		}
+	}
+}

@@ -63,6 +63,12 @@ type Config struct {
 	// SharedTemplates enables the shared template snapshot inside each
 	// session's pipeline (archive bytes are identical either way).
 	SharedTemplates bool
+	// PlainSegments drops the footer index from rotated segments, writing
+	// the v1 container instead. By default segments are written indexed
+	// (v2) so `flowzip extract` serves 5-tuple-prefix and time-window
+	// queries on per-tenant archives without full decodes; the archive
+	// body bytes are identical either way.
+	PlainSegments bool
 	// Net supplies the shared connection knobs (see dist.NetConfig): the
 	// same struct the coordinator and workers consume. Retries is unused.
 	Net dist.NetConfig
@@ -256,6 +262,7 @@ func (d *Daemon) admit(tenant string, opts core.Options) (*session, error) {
 		Workers:         d.cfg.Workers,
 		SharedTemplates: d.cfg.SharedTemplates,
 		MaxResident:     d.cfg.Quotas.MaxResident,
+		Index:           core.IndexConfig{Enabled: !d.cfg.PlainSegments},
 		Stats:           stats,
 	})
 	if err != nil {

@@ -52,12 +52,17 @@ func p2pTrace(seed uint64, flows int) *trace.Trace {
 	return tr
 }
 
+// serialBytes is the reference the daemon's segments are compared against:
+// serial Compress encoded with the daemon's default container settings
+// (indexed v2 — the footer is deterministic, so the equivalence holds over
+// the full byte stream, not just the body).
 func serialBytes(t testing.TB, tr *trace.Trace) []byte {
 	t.Helper()
 	arch, err := core.Compress(tr, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
+	arch.Index = core.IndexConfig{Enabled: true}
 	var buf bytes.Buffer
 	if _, err := arch.Encode(&buf); err != nil {
 		t.Fatal(err)

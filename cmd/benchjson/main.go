@@ -17,7 +17,12 @@
 // flowzipd serves on /metrics — and each sample becomes {name, labels,
 // value} in the report's "samples" array, so the daemon's session and
 // rotation counters publish through the same JSON artifact pipeline as the
-// benchmark numbers. An -i starting with http:// or https:// is fetched.
+// benchmark numbers. Histogram families (the daemon's batch and segment
+// latencies) are folded into the "histograms" array: cumulative buckets in
+// exposition order plus the _sum and _count samples. -strict additionally
+// lints the page — every family needs # HELP and # TYPE, histogram buckets
+// must be cumulative and end at +Inf — so CI can validate a live scrape.
+// An -i starting with http:// or https:// is fetched.
 package main
 
 import (
@@ -31,6 +36,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"flowzip/internal/promtext"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -40,18 +47,13 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Report is the document benchjson emits.
+// Report is the document benchjson emits. Samples and Histograms are the
+// -prom mode payload (internal/promtext does the parsing).
 type Report struct {
-	Environment map[string]string `json:"environment,omitempty"`
-	Benchmarks  []Benchmark       `json:"benchmarks,omitempty"`
-	Samples     []Sample          `json:"samples,omitempty"`
-}
-
-// Sample is one parsed Prometheus sample line (-prom mode).
-type Sample struct {
-	Name   string            `json:"name"`
-	Labels map[string]string `json:"labels,omitempty"`
-	Value  float64           `json:"value"`
+	Environment map[string]string     `json:"environment,omitempty"`
+	Benchmarks  []Benchmark           `json:"benchmarks,omitempty"`
+	Samples     []promtext.Sample     `json:"samples,omitempty"`
+	Histograms  []*promtext.Histogram `json:"histograms,omitempty"`
 }
 
 func main() {
@@ -60,7 +62,11 @@ func main() {
 	in := flag.String("i", "", "input file or, with -prom, a http(s):// metrics URL (default stdin)")
 	out := flag.String("o", "", "output file (default stdout)")
 	prom := flag.Bool("prom", false, "parse Prometheus text exposition (flowzipd /metrics) instead of bench output")
+	strict := flag.Bool("strict", false, "with -prom: lint the exposition (HELP/TYPE headers, well-formed histograms) and fail on violations")
 	flag.Parse()
+	if *strict && !*prom {
+		log.Fatal("-strict requires -prom")
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -86,7 +92,7 @@ func main() {
 	var report *Report
 	var err error
 	if *prom {
-		report, err = parseProm(r)
+		report, err = parsePromStrict(r, *strict)
 	} else {
 		report, err = parse(r)
 	}
@@ -96,7 +102,7 @@ func main() {
 	if !*prom && len(report.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found in input")
 	}
-	if *prom && len(report.Samples) == 0 {
+	if *prom && len(report.Samples) == 0 && len(report.Histograms) == 0 {
 		log.Fatal("no Prometheus samples found in input")
 	}
 
@@ -171,101 +177,33 @@ func parseBenchLine(line string) (Benchmark, bool) {
 }
 
 // parseProm scans Prometheus text exposition (version 0.0.4, the format
-// flowzipd's /metrics serves): comment and blank lines are skipped, every
-// other line is `name[{label="value",...}] value`. Lines that do not parse
-// are an error — unlike bench output, a metrics page has no legitimate
-// unrecognized lines.
+// flowzipd's /metrics serves) via internal/promtext: counter and gauge
+// lines become samples, TYPE-histogram families fold into histograms.
+// Lines that do not parse are an error — unlike bench output, a metrics
+// page has no legitimate unrecognized lines.
 func parseProm(r io.Reader) (*Report, error) {
-	report := &Report{}
-	sc := bufio.NewScanner(r)
-	for n := 1; sc.Scan(); n++ {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		s, err := parsePromLine(line)
-		if err != nil {
-			return nil, fmt.Errorf("metrics line %d: %w", n, err)
-		}
-		report.Samples = append(report.Samples, s)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("reading input: %w", err)
-	}
-	return report, nil
+	return parsePromStrict(r, false)
 }
 
-func parsePromLine(line string) (Sample, error) {
-	name := line
-	rest := ""
-	var labels map[string]string
-	if open := strings.IndexByte(line, '{'); open >= 0 {
-		close := strings.LastIndexByte(line, '}')
-		if close < open {
-			return Sample{}, fmt.Errorf("unbalanced label braces in %q", line)
-		}
-		name = line[:open]
-		rest = line[close+1:]
-		var err error
-		if labels, err = parsePromLabels(line[open+1 : close]); err != nil {
-			return Sample{}, err
-		}
-	} else {
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return Sample{}, fmt.Errorf("want `name value`, got %q", line)
-		}
-		name, rest = fields[0], fields[1]
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+func parsePromStrict(r io.Reader, strict bool) (*Report, error) {
+	res, err := promtext.Parse(r, strict)
 	if err != nil {
-		return Sample{}, fmt.Errorf("sample value in %q: %w", line, err)
+		return nil, err
 	}
-	return Sample{Name: name, Labels: labels, Value: v}, nil
+	return &Report{Samples: res.Samples, Histograms: res.Histograms}, nil
 }
 
-// parsePromLabels parses `k1="v1",k2="v2"`. Escapes inside label values are
-// limited to what the daemon emits (\\, \", \n), matching the exposition
-// format's quoting rules.
-func parsePromLabels(s string) (map[string]string, error) {
-	labels := map[string]string{}
-	for s = strings.TrimSpace(s); s != ""; {
-		eq := strings.IndexByte(s, '=')
-		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
-			return nil, fmt.Errorf("malformed label in %q", s)
-		}
-		key := strings.TrimSpace(s[:eq])
-		var val strings.Builder
-		i := eq + 2
-		for {
-			if i >= len(s) {
-				return nil, fmt.Errorf("unterminated label value in %q", s)
-			}
-			c := s[i]
-			if c == '"' {
-				break
-			}
-			if c == '\\' {
-				if i+1 >= len(s) {
-					return nil, fmt.Errorf("dangling escape in %q", s)
-				}
-				i++
-				switch s[i] {
-				case 'n':
-					c = '\n'
-				default:
-					c = s[i]
-				}
-			}
-			val.WriteByte(c)
-			i++
-		}
-		labels[key] = val.String()
-		s = strings.TrimSpace(s[i+1:])
-		s = strings.TrimPrefix(s, ",")
-		s = strings.TrimSpace(s)
+// parsePromLine parses a single sample line (test seam over the shared
+// parser).
+func parsePromLine(line string) (promtext.Sample, error) {
+	res, err := promtext.Parse(strings.NewReader(line), false)
+	if err != nil {
+		return promtext.Sample{}, err
 	}
-	return labels, nil
+	if len(res.Samples) != 1 {
+		return promtext.Sample{}, fmt.Errorf("want one sample in %q", line)
+	}
+	return res.Samples[0], nil
 }
 
 // stripProcsSuffix removes the trailing -GOMAXPROCS that `go test` appends

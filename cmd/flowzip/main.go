@@ -7,6 +7,7 @@
 //	flowzip compress  -i big.pcap -o big.fz -stream [-maxresident N] [-progress]
 //	flowzip compress  -i web.tsh -o web.fz -index [-index-group 256]
 //	flowzip compress  -i web.tsh -o web.fz [-cpuprofile cpu.out] [-memprofile mem.out]
+//	flowzip compress  -i web.tsh -o web.fz -trace-out web.trace.json
 //	flowzip decompress -i web.fz -o back.tsh [-workers 4]
 //	flowzip extract   -i web.fz -o sub.tsh -prefix 10.1.0.0/16 [-from 2s] [-to 10s]
 //	flowzip inspect   -i web.fz            (also reads .fzshard shard files)
@@ -14,7 +15,7 @@
 //
 //	flowzip shard      -i web.tsh -shard 0 -shards 4 -o web.s0.fzshard
 //	flowzip merge      -o web.fz web.s0.fzshard ... web.s3.fzshard
-//	flowzip coordinate -listen :9000 -shards 4 -o web.fz
+//	flowzip coordinate -listen :9000 -shards 4 -o web.fz [-metrics-addr :9101 [-pprof]]
 //	flowzip worker     -connect host:9000 -i web.tsh
 //	flowzip ingest     -connect host:9100 -tenant lab -i web.tsh
 //
@@ -43,6 +44,13 @@
 // However the shards traveled, the merged archive is byte-for-byte
 // identical to the single-machine compress output.
 //
+// -trace-out (compress, extract) records a Chrome trace-event JSON timeline
+// of the run — partition, per-shard compression, finalize, merge and encode
+// spans — loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// coordinate -metrics-addr serves the coordinator's Prometheus counters
+// (worker registrations, assignments, retries, shard latency) on /metrics;
+// -pprof adds net/http/pprof under /debug on the same listener.
+//
 // ingest streams a capture into a running flowzipd daemon (cmd/flowzipd):
 // the daemon compresses the session server-side and rotates the archives
 // under its tenant directory, while acks propagate its backpressure to this
@@ -66,6 +74,7 @@ import (
 	"flowzip/internal/core"
 	"flowzip/internal/dist"
 	"flowzip/internal/flow"
+	"flowzip/internal/obs"
 	"flowzip/internal/pkt"
 	"flowzip/internal/server"
 	"flowzip/internal/stats"
@@ -226,6 +235,8 @@ func runCoordinate(args []string) {
 	quiet := fs.Bool("q", false, "suppress per-shard progress on stderr")
 	opts := codecFlags(fs)
 	buildNet := cli.NetFlags(fs, "worker", "one shard result", true)
+	metricsAddr := cli.MetricsAddrFlag(fs, "metrics-addr")
+	debug := cli.PprofFlag(fs)
 	fs.Parse(args)
 	if err := cli.ValidateShards(*shards); err != nil {
 		log.Fatal("coordinate: ", err)
@@ -234,11 +245,16 @@ func runCoordinate(args []string) {
 	if err := cli.ValidateNet(nc); err != nil {
 		log.Fatal("coordinate: ", err)
 	}
+	if err := cli.ValidatePprof(*debug, *metricsAddr); err != nil {
+		log.Fatal("coordinate: ", err)
+	}
 	cfg := dist.CoordinatorConfig{
-		NetConfig:  nc,
-		Shards:     *shards,
-		Opts:       opts(),
-		ListenAddr: *listen,
+		NetConfig:   nc,
+		Shards:      *shards,
+		Opts:        opts(),
+		ListenAddr:  *listen,
+		MetricsAddr: *metricsAddr,
+		Debug:       *debug,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -248,6 +264,9 @@ func runCoordinate(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "flowzip: coordinating %d shards on %s\n", *shards, coord.Addr())
+	if ma := coord.MetricsAddr(); ma != nil {
+		fmt.Fprintf(os.Stderr, "flowzip: metrics on http://%s/metrics\n", ma)
+	}
 	arch, err := coord.Wait()
 	if err != nil {
 		log.Fatal(err)
@@ -376,6 +395,7 @@ func runCompress(args []string) {
 	indexGroup := fs.Int("index-group", 0, "records per index group (0 = default)")
 	cpuProfile := cli.CPUProfileFlag(fs, "compression")
 	memProfile := cli.MemProfileFlag(fs, "compression")
+	traceOut := cli.TraceOutFlag(fs, "compression run")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("compress: -i required")
@@ -399,11 +419,16 @@ func runCompress(args []string) {
 	}
 
 	var arch *core.Archive
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer("flowzip compress")
+	}
 	cfg := core.PipelineConfig{
 		Workers:         *workers,
 		SharedTemplates: *sharedTpl,
 		MaxResident:     *maxResident,
 		Index:           idxCfg,
+		Trace:           tracer,
 	}
 	if *stream && *progress {
 		cfg.Progress = func(packets int64) {
@@ -450,7 +475,15 @@ func runCompress(args []string) {
 	if err := stopProfiles(); err != nil {
 		log.Fatal("compress: ", err)
 	}
+	esp := tracer.Span(0, "encode-archive")
 	writeArchive(*out, arch)
+	esp.End()
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			log.Fatal("compress: -trace-out: ", err)
+		}
+		fmt.Fprintf(os.Stderr, "flowzip: trace written to %s\n", *traceOut)
+	}
 }
 
 func runDecompress(args []string) {
@@ -494,6 +527,7 @@ func runExtract(args []string) {
 	prefix := fs.String("prefix", "", "client-address prefix a.b.c.d[/len] (empty = all addresses)")
 	from := fs.Duration("from", 0, "start of the flow time window (offset into the trace)")
 	to := fs.Duration("to", 0, "end of the flow time window (0 = open-ended)")
+	traceOut := cli.TraceOutFlag(fs, "extract query")
 	fs.Parse(args)
 	if *in == "" {
 		log.Fatal("extract: -i required")
@@ -517,9 +551,20 @@ func runExtract(args []string) {
 		log.Fatal(err)
 	}
 	defer r.Close()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer("flowzip extract")
+		r.SetTracer(tracer)
+	}
 	tr, err := r.ExtractFlows(filter)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			log.Fatal("extract: -trace-out: ", err)
+		}
+		fmt.Fprintf(os.Stderr, "flowzip: trace written to %s\n", *traceOut)
 	}
 	if err := tr.SaveFile(*out); err != nil {
 		log.Fatal(err)

@@ -8,14 +8,17 @@
 //
 // Usage:
 //
-//	flowzipd -listen :9100 -dir /var/lib/flowzip [-metrics :9101]
+//	flowzipd -listen :9100 -dir /var/lib/flowzip [-metrics :9101 [-pprof]]
 //	flowzipd -listen :9100 -dir archives -rotate-packets 1000000 -rotate-age 1h
 //	flowzipd -listen :9100 -dir archives -max-sessions 64 -max-archive-bytes 1e9
 //
 // The daemon applies backpressure per session — a batch is acked only after
 // it is inside that session's pipeline, and the pipeline's residency window
 // (-maxresident) bounds daemon memory — so a capture client can never run
-// ahead of compression. -metrics serves Prometheus text on /metrics.
+// ahead of compression. -metrics serves Prometheus text on /metrics —
+// session and segment counters, batch/segment latency histograms, pipeline
+// and Go runtime series — and -pprof adds net/http/pprof plus expvar under
+// /debug on the same listener.
 //
 // SIGINT/SIGTERM drains gracefully: open sessions are finalized (clients see
 // a drain notice with their summary), buffered packets are flushed into
@@ -34,6 +37,7 @@ import (
 	"time"
 
 	"flowzip/internal/cli"
+	"flowzip/internal/obs"
 	"flowzip/internal/server"
 )
 
@@ -42,7 +46,8 @@ func main() {
 	log.SetPrefix("flowzipd: ")
 	fs := flag.NewFlagSet("flowzipd", flag.ExitOnError)
 	listen := fs.String("listen", ":9100", "TCP address to accept capture sessions on")
-	metrics := fs.String("metrics", "", "serve Prometheus text on this address at /metrics (empty = disabled)")
+	metrics := cli.MetricsAddrFlag(fs, "metrics")
+	debug := cli.PprofFlag(fs)
 	dir := fs.String("dir", "", "archive root; each tenant's segments land in <dir>/<tenant>/")
 	workers := cli.WorkersFlag(fs, "each session's compression shards")
 	sharedTpl := cli.SharedTemplatesFlag(fs, "each session's compression shards")
@@ -77,10 +82,14 @@ func main() {
 	if err := cli.ValidateNet(nc); err != nil {
 		log.Fatal(err)
 	}
+	if err := cli.ValidatePprof(*debug, *metrics); err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := server.Config{
 		ListenAddr:      *listen,
 		MetricsAddr:     *metrics,
+		Debug:           *debug,
 		Dir:             *dir,
 		Workers:         *workers,
 		SharedTemplates: *sharedTpl,
@@ -93,7 +102,7 @@ func main() {
 		Rotation: server.Rotation{MaxPackets: *rotPackets, MaxAge: *rotAge},
 	}
 	if !*quiet {
-		cfg.Logf = log.Printf
+		cfg.Logger = obs.NewLogger("flowzipd")
 	}
 	d, err := server.New(cfg)
 	if err != nil {

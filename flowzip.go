@@ -2,12 +2,14 @@ package flowzip
 
 import (
 	"io"
+	"net/http"
 
 	"flowzip/internal/baseline"
 	"flowzip/internal/core"
 	"flowzip/internal/dist"
 	"flowzip/internal/flow"
 	"flowzip/internal/flowgen"
+	"flowzip/internal/obs"
 	"flowzip/internal/pcap"
 	"flowzip/internal/pkt"
 	"flowzip/internal/server"
@@ -116,6 +118,22 @@ type (
 	ReaderStats = core.ReaderStats
 	// IndexStats describes the footer index of an open archive.
 	IndexStats = core.IndexStats
+	// Registry holds named metric instruments and renders them in the
+	// Prometheus text exposition format. A nil *Registry disables every
+	// instrument it would have produced.
+	Registry = obs.Registry
+	// Tracer records spans and renders them as Chrome trace-event JSON,
+	// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. A nil
+	// *Tracer disables every span with one branch per call.
+	Tracer = obs.Tracer
+	// Span is one in-progress trace span (a value; End records it).
+	Span = obs.Span
+	// PipelineMetrics is the compression pipeline's metric set; attach it
+	// through Config.Metrics and register it with NewPipelineMetrics.
+	PipelineMetrics = core.PipelineMetrics
+	// ReaderMetrics is the indexed read path's metric set; attach it with
+	// Reader.Observe and register it with NewReaderMetrics.
+	ReaderMetrics = core.ReaderMetrics
 )
 
 // ErrNoIndex reports a v1 archive opened through the indexed read path;
@@ -140,6 +158,33 @@ const DefaultMaxResident = core.DefaultMaxResident
 // DefaultOptions returns the paper's codec parameters
 // (weights 16/4/1, short flows up to 50 packets, 2% similarity threshold).
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewRegistry returns an empty metrics registry. Serve it over HTTP with
+// MetricsHandler, or render it with Registry.Render.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer whose spans render as Chrome trace-event
+// JSON under the given process name. Write the result with Tracer.Write
+// or Tracer.WriteFile after the traced work completes.
+func NewTracer(process string) *Tracer { return obs.NewTracer(process) }
+
+// NewPipelineMetrics registers the compression pipeline's metric series
+// on reg under the given prefix (e.g. "pipeline") and returns the set to
+// attach through Config.Metrics. A nil registry returns nil, which
+// disables every observation site at one branch per call.
+func NewPipelineMetrics(reg *Registry, prefix string) *PipelineMetrics {
+	return core.NewPipelineMetrics(reg, prefix)
+}
+
+// NewReaderMetrics registers the indexed read path's metric series on reg
+// under the given prefix and returns the set to attach with
+// Reader.Observe. A nil registry returns nil.
+func NewReaderMetrics(reg *Registry, prefix string) *ReaderMetrics {
+	return core.NewReaderMetrics(reg, prefix)
+}
+
+// MetricsHandler serves reg in the Prometheus text exposition format.
+func MetricsHandler(reg *Registry) http.Handler { return obs.Handler(reg) }
 
 // DefaultWebConfig returns a Web-traffic model calibrated to the paper's
 // trace statistics.

@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -166,6 +167,41 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// Observability flag templates: the single source of the -trace-out,
+// -metrics-addr and -pprof help text, so every command documents the
+// observability surface identically.
+const (
+	traceOutTemplate    = "write a Chrome trace-event JSON file of the %s to this path (load it in Perfetto or chrome://tracing)"
+	metricsAddrTemplate = "serve Prometheus text on this address at /metrics (empty = disabled)"
+	pprofTemplate       = "also mount net/http/pprof and expvar under /debug on the metrics listener"
+)
+
+// TraceOutFlag registers the canonical -trace-out flag on fs. purpose names
+// the traced work ("compression run", "extract query", ...).
+func TraceOutFlag(fs *flag.FlagSet, purpose string) *string {
+	return fs.String("trace-out", "", fmt.Sprintf(traceOutTemplate, purpose))
+}
+
+// MetricsAddrFlag registers the canonical metrics-endpoint flag on fs under
+// the given flag name (the daemon predates the shared template and keeps its
+// short -metrics spelling; newer verbs use -metrics-addr).
+func MetricsAddrFlag(fs *flag.FlagSet, name string) *string {
+	return fs.String(name, "", metricsAddrTemplate)
+}
+
+// PprofFlag registers the canonical -pprof flag on fs.
+func PprofFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("pprof", false, pprofTemplate)
+}
+
+// ValidatePprof rejects -pprof without a metrics listener to mount it on.
+func ValidatePprof(pprof bool, metricsAddr string) error {
+	if pprof && metricsAddr == "" {
+		return errors.New("-pprof requires a metrics address to serve /debug on")
+	}
+	return nil
 }
 
 // Net flag templates: the single source of the connection-timing help text.

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"flowzip/internal/flow"
+)
+
+// StoreObserver samples the store's match machinery: how often the O(1)
+// prune bounds reject a candidate before the distance computation runs,
+// and how often the exact-vector memo short-circuits a walk entirely.
+// These rates are the raw input for the adaptive-tuning roadmap item.
+//
+// The observer is attached with Store.Observe. When no observer is
+// attached the store's hot path pays exactly one nil check: the observed
+// walk is a separate duplicate of find, so the unobserved walk carries
+// no per-candidate bookkeeping. Counters are atomics because shard
+// compressors may share one observer across pipeline workers.
+type StoreObserver struct {
+	Lookups    atomic.Int64 // first-fit walks taken
+	SumRejects atomic.Int64 // candidates rejected by the element-sum bound
+	SigRejects atomic.Int64 // candidates rejected by the coarse-signature bound
+	DistCalls  atomic.Int64 // candidates that reached the full distance computation
+	MemoHits   atomic.Int64 // Match calls resolved by the exact-vector memo
+	Matches    atomic.Int64 // Match calls that reused a template
+	Creates    atomic.Int64 // templates created (Match misses and Inserts)
+}
+
+// Observe attaches o to the store (nil detaches) and returns the store.
+func (s *Store) Observe(o *StoreObserver) *Store {
+	s.obs = o
+	return s
+}
+
+// findObserved is find with per-candidate sampling. It must mirror
+// find's first-fit semantics exactly — every pipeline mode is required
+// to stay byte-identical with observability on or off.
+func (s *Store) findObserved(v flow.Vector, lim, vsum int, vsig uint64) *Template {
+	o := s.obs
+	o.Lookups.Add(1)
+	if lim <= 0 {
+		return nil
+	}
+	b := s.byLen[len(v)]
+	if b == nil {
+		return nil
+	}
+	for i, t := range b.tpls {
+		if ds := vsum - int(b.sums[i]); ds >= lim || -ds >= lim {
+			o.SumRejects.Add(1)
+			continue
+		}
+		if sigDist(vsig, b.sigs[i]) >= lim {
+			o.SigRejects.Add(1)
+			continue
+		}
+		o.DistCalls.Add(1)
+		if flow.DistanceWithin(t.Vector, v, lim) {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"flowzip/internal/flow"
+)
+
+// TestObserverTransparent drives the same vector stream through an
+// observed and an unobserved store and requires identical decisions —
+// findObserved duplicates find, and the byte-identity invariant of the
+// whole pipeline rests on that duplication staying exact.
+func TestObserverTransparent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	vecs := make([]flow.Vector, 3000)
+	for i := range vecs {
+		v := make(flow.Vector, 4+rng.IntN(4))
+		for j := range v {
+			v[j] = uint8(rng.IntN(32)) // small alphabet so matches happen
+		}
+		vecs[i] = v
+	}
+
+	plain := NewStore()
+	obs := &StoreObserver{}
+	observed := NewStore().Observe(obs)
+	for i, v := range vecs {
+		pt, pc := plain.Match(v)
+		ot, oc := observed.Match(v)
+		if pc != oc || pt.ID != ot.ID {
+			t.Fatalf("vector %d: plain (id=%d created=%v) != observed (id=%d created=%v)",
+				i, pt.ID, pc, ot.ID, oc)
+		}
+	}
+	if plain.Len() != observed.Len() {
+		t.Fatalf("template counts diverge: %d vs %d", plain.Len(), observed.Len())
+	}
+
+	// The counters must be internally consistent with what happened.
+	matches, creates := obs.Matches.Load(), obs.Creates.Load()
+	if matches+creates != int64(len(vecs)) {
+		t.Errorf("matches %d + creates %d != %d Match calls", matches, creates, len(vecs))
+	}
+	if creates != int64(observed.Len()) {
+		t.Errorf("creates = %d, want %d (store length)", creates, observed.Len())
+	}
+	if obs.Lookups.Load() == 0 {
+		t.Error("no lookups sampled")
+	}
+	if obs.DistCalls.Load() == 0 {
+		t.Error("no distance calls sampled (alphabet too sparse?)")
+	}
+	if obs.SumRejects.Load()+obs.SigRejects.Load() == 0 {
+		t.Error("prune bounds never fired")
+	}
+	// Memo hits are a subset of matches, and every non-memo Match call
+	// took a walk.
+	if obs.MemoHits.Load() > matches {
+		t.Errorf("memo hits %d exceed matches %d", obs.MemoHits.Load(), matches)
+	}
+	if want := int64(len(vecs)) - obs.MemoHits.Load(); obs.Lookups.Load() != want {
+		t.Errorf("lookups = %d, want %d (calls minus memo hits)", obs.Lookups.Load(), want)
+	}
+
+	// Detaching restores the unobserved walk; decisions keep agreeing.
+	observed.Observe(nil)
+	before := obs.Lookups.Load()
+	for i := 0; i < 100; i++ {
+		v := make(flow.Vector, 5)
+		for j := range v {
+			v[j] = uint8(rng.IntN(32))
+		}
+		pt, pc := plain.Match(v)
+		ot, oc := observed.Match(v)
+		if pc != oc || pt.ID != ot.ID {
+			t.Fatalf("after detach, vector %d diverged", i)
+		}
+	}
+	if obs.Lookups.Load() != before {
+		t.Error("detached observer still counted lookups")
+	}
+}

@@ -34,6 +34,7 @@ type Store struct {
 	memo      vecIndex // exact-vector Match cache, zero-value unless enabled
 	matches   int64
 	misses    int64
+	obs       *StoreObserver // optional sampler, nil when observability is off
 }
 
 // bucket holds one length class: templates in insertion order with their
@@ -81,6 +82,9 @@ func (s *Store) EnableMemo() *Store {
 // in insertion order and rejecting them via the sum and signature lower
 // bounds before paying for an (early-exit) distance computation.
 func (s *Store) find(v flow.Vector, lim, vsum int, vsig uint64) *Template {
+	if s.obs != nil {
+		return s.findObserved(v, lim, vsum, vsig)
+	}
 	if lim <= 0 {
 		return nil // distances are >= 0, so a non-positive limit admits nothing
 	}
@@ -147,6 +151,10 @@ func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
 			t := s.templates[id]
 			t.Members++
 			s.matches++
+			if s.obs != nil {
+				s.obs.MemoHits.Add(1)
+				s.obs.Matches.Add(1)
+			}
 			return t, false
 		}
 	}
@@ -154,6 +162,9 @@ func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
 	if t := s.find(v, lim, vsum, vsig); t != nil {
 		t.Members++
 		s.matches++
+		if s.obs != nil {
+			s.obs.Matches.Add(1)
+		}
 		if s.memo.enabled() {
 			// The caller may reuse v's backing (the compressor's scratch
 			// vector), so the memo interns its own copy. This is the one
@@ -168,6 +179,9 @@ func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
 		s.memo.put(t.Vector, int32(t.ID)) // the template's copy, no new alloc
 	}
 	s.misses++
+	if s.obs != nil {
+		s.obs.Creates.Add(1)
+	}
 	return t, true
 }
 
@@ -217,6 +231,9 @@ func (s *Store) Insert(v flow.Vector) *Template {
 		s.memo.put(t.Vector, memoID)
 	}
 	s.misses++
+	if s.obs != nil {
+		s.obs.Creates.Add(1)
+	}
 	return t
 }
 

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"flowzip/internal/cluster"
+	"flowzip/internal/obs"
+)
+
+// PipelineMetrics is the pipeline's registry-backed counter set: batch
+// feed latency, packet residency, merge and shared-store traffic, and the
+// template store's prune/memo sampler. Built with NewPipelineMetrics; a
+// nil *PipelineMetrics disables everything (every method nil-checks, and
+// the instruments themselves are nil-receiver safe), so the hot paths pay
+// a branch and nothing else when observability is off.
+type PipelineMetrics struct {
+	Batches      *obs.Counter
+	Packets      *obs.Counter
+	BatchSeconds *obs.Histogram
+	Resident     *obs.Gauge
+	ResidentPeak *obs.Gauge
+
+	MergeMatchCalls *obs.Counter
+	SharedLookups   *obs.Counter
+	SharedHits      *obs.Counter
+	SharedFlows     *obs.Counter
+	OverflowFlows   *obs.Counter
+
+	// Store samples the template stores (shard overflow stores, the serial
+	// store and the merge store): prune-bound reject rates, memo hits,
+	// match/create traffic. Exported into the registry as render-time
+	// sampled counters.
+	Store *cluster.StoreObserver
+}
+
+// NewPipelineMetrics registers the pipeline series on reg under the given
+// prefix (e.g. "pipeline" or "flowzipd_pipeline") and returns the handle
+// to observe through. A nil registry returns nil, which disables every
+// observation site.
+func NewPipelineMetrics(reg *obs.Registry, prefix string) *PipelineMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &PipelineMetrics{Store: &cluster.StoreObserver{}}
+	m.Batches = reg.Counter(prefix+"_batches_total", "Source batches fed through the pipeline.")
+	m.Packets = reg.Counter(prefix+"_packets_total", "Packets fed through the pipeline.")
+	m.BatchSeconds = reg.Histogram(prefix+"_batch_seconds", "Latency partitioning one source batch and enqueueing it to the shard workers (includes backpressure stalls).", obs.DefaultLatencyBuckets)
+	m.Resident = reg.Gauge(prefix+"_resident_packets", "Packets currently resident in the shard channels.")
+	m.ResidentPeak = reg.Gauge(prefix+"_resident_packets_peak", "High-water mark of packets resident in the shard channels.")
+	m.MergeMatchCalls = reg.Counter(prefix+"_merge_match_calls_total", "Template-store Match calls during merge replays.")
+	m.SharedLookups = reg.Counter(prefix+"_shared_lookups_total", "Shared-store snapshot consultations by shard workers.")
+	m.SharedHits = reg.Counter(prefix+"_shared_hits_total", "Shared-store lookups resolved by a published snapshot.")
+	m.SharedFlows = reg.Counter(prefix+"_shared_flows_total", "Short flows resolved against the shared snapshot.")
+	m.OverflowFlows = reg.Counter(prefix+"_overflow_flows_total", "Short flows resolved against a shard's private overflow store.")
+
+	sampled := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc(prefix+name, help, func() float64 { return float64(v.Load()) })
+	}
+	sampled("_store_lookups_total", "Template-store first-fit walks.", &m.Store.Lookups)
+	sampled("_store_sum_rejects_total", "Store candidates rejected by the element-sum bound.", &m.Store.SumRejects)
+	sampled("_store_sig_rejects_total", "Store candidates rejected by the coarse-signature bound.", &m.Store.SigRejects)
+	sampled("_store_dist_calls_total", "Store candidates that reached the full distance computation.", &m.Store.DistCalls)
+	sampled("_store_memo_hits_total", "Store Match calls resolved by the exact-vector memo.", &m.Store.MemoHits)
+	sampled("_store_matches_total", "Store Match calls that reused a template.", &m.Store.Matches)
+	sampled("_store_creates_total", "Templates created across the run's stores.", &m.Store.Creates)
+	return m
+}
+
+// storeObserver returns the sampler to attach to stores (nil when
+// metrics are off).
+func (m *PipelineMetrics) storeObserver() *cluster.StoreObserver {
+	if m == nil {
+		return nil
+	}
+	return m.Store
+}
+
+// observeBatch records one fed batch.
+func (m *PipelineMetrics) observeBatch(start time.Time, packets int) {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+	m.Packets.Add(int64(packets))
+	m.BatchSeconds.Observe(time.Since(start).Seconds())
+}
+
+// observeResident tracks the current and peak shard-channel residency.
+func (m *PipelineMetrics) observeResident(now int64) {
+	if m == nil {
+		return
+	}
+	m.Resident.Set(now)
+	m.ResidentPeak.Max(now)
+}
+
+// addStats folds one run's ParallelStats into the cumulative counters.
+func (m *PipelineMetrics) addStats(st *ParallelStats) {
+	if m == nil || st == nil {
+		return
+	}
+	m.MergeMatchCalls.Add(st.MergeMatchCalls)
+	m.SharedLookups.Add(st.SharedLookups)
+	m.SharedHits.Add(st.SharedHits)
+	m.SharedFlows.Add(st.SharedFlows)
+	m.OverflowFlows.Add(st.OverflowFlows)
+}
+
+// ReaderMetrics is the read path's registry-backed counter set. Built
+// with NewReaderMetrics; nil disables every observation site. One
+// ReaderMetrics may be shared by many Readers (counters are atomics).
+type ReaderMetrics struct {
+	Extracts          *obs.Counter
+	GroupsDecoded     *obs.Counter
+	BodyBytesRead     *obs.Counter
+	TemplatesLoaded   *obs.Counter
+	TemplateCacheHits *obs.Counter
+	FlowsMatched      *obs.Counter
+}
+
+// NewReaderMetrics registers the read-path series on reg under the given
+// prefix (e.g. "reader"). A nil registry returns nil.
+func NewReaderMetrics(reg *obs.Registry, prefix string) *ReaderMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ReaderMetrics{
+		Extracts:          reg.Counter(prefix+"_extracts_total", "ExtractFlows queries served."),
+		GroupsDecoded:     reg.Counter(prefix+"_groups_decoded_total", "Flow groups fetched and decoded on behalf of queries."),
+		BodyBytesRead:     reg.Counter(prefix+"_body_bytes_read_total", "Body bytes fetched on behalf of queries."),
+		TemplatesLoaded:   reg.Counter(prefix+"_templates_loaded_total", "Templates fetched into the lazy cache."),
+		TemplateCacheHits: reg.Counter(prefix+"_template_cache_hits_total", "Template loads satisfied by the lazy cache."),
+		FlowsMatched:      reg.Counter(prefix+"_flows_matched_total", "Flows returned by ExtractFlows queries."),
+	}
+}
+
+// Observe attaches a store sampler to the serial compressor's template
+// store (nil detaches) and returns the compressor.
+func (c *Compressor) Observe(o *cluster.StoreObserver) *Compressor {
+	c.store.Observe(o)
+	return c
+}
+
+// observe attaches a store sampler to the shard's overflow store and
+// returns the compressor.
+func (c *shardCompressor) observe(o *cluster.StoreObserver) *shardCompressor {
+	c.st.store.Observe(o)
+	return c
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"flowzip/internal/obs"
+	"flowzip/internal/trace"
+)
+
+// TestPipelineMetricsTransparent: attaching metrics must never change a
+// single archive byte — the sampled store walk has to mirror the plain
+// walk exactly — while the counters actually fill in.
+func TestPipelineMetricsTransparent(t *testing.T) {
+	tr := fractalTrace(77, 4000)
+	for _, workers := range []int{1, 4} {
+		plain, err := CompressParallel(tr, DefaultOptions(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if _, err := plain.Encode(&want); err != nil {
+			t.Fatal(err)
+		}
+
+		reg := obs.NewRegistry()
+		m := NewPipelineMetrics(reg, "pipeline")
+		p, err := NewPipeline(DefaultOptions(), PipelineConfig{Workers: workers, Metrics: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arch, err := p.CompressTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if _, err := arch.Encode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("workers=%d: archive differs with metrics attached", workers)
+		}
+
+		if got := m.Packets.Load(); got != int64(tr.Len()) {
+			t.Errorf("workers=%d: packets counter = %d, want %d", workers, got, tr.Len())
+		}
+		if m.Batches.Load() == 0 {
+			t.Errorf("workers=%d: batches counter stayed zero", workers)
+		}
+		if m.BatchSeconds.Count() == 0 {
+			t.Errorf("workers=%d: batch histogram empty", workers)
+		}
+		if m.Store.Lookups.Load() == 0 {
+			t.Errorf("workers=%d: store sampler saw no lookups", workers)
+		}
+		if m.Store.Creates.Load() == 0 {
+			t.Errorf("workers=%d: store sampler saw no template creates", workers)
+		}
+		if workers > 1 && m.MergeMatchCalls.Load() == 0 {
+			t.Errorf("workers=%d: merge match calls stayed zero", workers)
+		}
+
+		// The registry renders the full series set, strict-lintable.
+		var page bytes.Buffer
+		if err := reg.Render(&page); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(page.Bytes(), []byte("pipeline_store_lookups_total")) {
+			t.Errorf("workers=%d: sampled store series missing from render", workers)
+		}
+	}
+}
+
+// TestPipelineMetricsStream: the streaming entry point feeds the same
+// counter set.
+func TestPipelineMetricsStream(t *testing.T) {
+	tr := fractalTrace(78, 3000)
+	reg := obs.NewRegistry()
+	m := NewPipelineMetrics(reg, "pipeline")
+	p, err := NewPipeline(DefaultOptions(), PipelineConfig{Workers: 4, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Compress(trace.Batches(tr, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Packets.Load(); got != int64(tr.Len()) {
+		t.Errorf("packets counter = %d, want %d", got, tr.Len())
+	}
+	if got := m.Batches.Load(); got == 0 {
+		t.Error("batches counter stayed zero")
+	}
+	if m.ResidentPeak.Load() == 0 {
+		t.Error("resident peak gauge stayed zero")
+	}
+}
+
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Tid  int64  `json:"tid"`
+		Ts   int64  `json:"ts"`
+		Dur  int64  `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+// TestPipelineTraceSpans drives both pipeline entry points with a tracer
+// and checks the emitted timeline: the expected span names exist and
+// every span on the pipeline thread is contained in the enclosing
+// "compress" span (the property that makes the trace readable in
+// Perfetto).
+func TestPipelineTraceSpans(t *testing.T) {
+	tr := fractalTrace(79, 3000)
+	for _, mode := range []string{"trace", "stream"} {
+		tc := obs.NewTracer("test")
+		p, err := NewPipeline(DefaultOptions(), PipelineConfig{Workers: 4, Trace: tc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == "trace" {
+			_, err = p.CompressTrace(tr)
+		} else {
+			_, err = p.Compress(trace.Batches(tr, 256))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := tc.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		var doc traceDoc
+		if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: trace not valid JSON: %v", mode, err)
+		}
+
+		spans := map[string]int{}
+		var compressStart, compressEnd int64
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph != "X" {
+				continue
+			}
+			spans[ev.Name]++
+			if ev.Name == "compress" {
+				compressStart, compressEnd = ev.Ts, ev.Ts+ev.Dur
+			}
+		}
+		want := []string{"compress", "shard-compress", "finalize", "merge"}
+		if mode == "trace" {
+			want = append(want, "partition")
+		}
+		for _, name := range want {
+			if spans[name] == 0 {
+				t.Errorf("%s: no %q span in trace (have %v)", mode, name, spans)
+			}
+		}
+		if spans["shard-compress"] != 4 || spans["finalize"] != 4 {
+			t.Errorf("%s: want 4 shard-compress + 4 finalize spans, have %v", mode, spans)
+		}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph != "X" || ev.Name == "compress" {
+				continue
+			}
+			if ev.Ts < compressStart || ev.Ts+ev.Dur > compressEnd {
+				t.Errorf("%s: span %q [%d,%d] outside compress [%d,%d]",
+					mode, ev.Name, ev.Ts, ev.Ts+ev.Dur, compressStart, compressEnd)
+			}
+		}
+	}
+}
+
+// TestReaderObservability: the indexed read path fills its counter set
+// and emits extract spans, without changing query results.
+func TestReaderObservability(t *testing.T) {
+	tr := fractalTrace(80, 3000)
+	p, err := NewPipeline(DefaultOptions(), PipelineConfig{Workers: 1, Index: IndexConfig{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := p.CompressTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if _, err := arch.Encode(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	m := NewReaderMetrics(reg, "reader")
+	tc := obs.NewTracer("test")
+	r, err := OpenReader(bytes.NewReader(blob.Bytes()), int64(blob.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(m)
+	r.SetTracer(tc)
+
+	got, err := r.ExtractFlows(FlowFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("extract returned %d packets, want %d", got.Len(), tr.Len())
+	}
+	if m.Extracts.Load() != 1 {
+		t.Errorf("extracts = %d, want 1", m.Extracts.Load())
+	}
+	if m.GroupsDecoded.Load() == 0 || m.BodyBytesRead.Load() == 0 {
+		t.Errorf("group/body counters stayed zero: %d groups, %d bytes",
+			m.GroupsDecoded.Load(), m.BodyBytesRead.Load())
+	}
+	if m.FlowsMatched.Load() == 0 {
+		t.Error("flows matched counter stayed zero")
+	}
+	loaded := m.TemplatesLoaded.Load()
+	if loaded == 0 {
+		t.Error("templates loaded counter stayed zero")
+	}
+
+	// A second query hits the per-reader template cache.
+	if _, err := r.ExtractFlows(FlowFilter{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.TemplatesLoaded.Load() != loaded {
+		t.Errorf("second extract reloaded templates: %d -> %d", loaded, m.TemplatesLoaded.Load())
+	}
+	if m.TemplateCacheHits.Load() == 0 {
+		t.Error("template cache hits stayed zero on the second extract")
+	}
+
+	var b bytes.Buffer
+	if err := tc.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	extracts := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "extract" {
+			extracts++
+		}
+	}
+	if extracts != 2 {
+		t.Errorf("extract spans = %d, want 2", extracts)
+	}
+}

@@ -197,16 +197,6 @@ func (c *shardCompressor) finish() *shardState {
 	return c.st
 }
 
-// compressShard assembles and characterizes the flows of one shard. bucket
-// holds the shard's packet indices in global (timestamp) order.
-func compressShard(tr *trace.Trace, opts Options, bucket []int32, sid uint16, shared *cluster.SharedStore) *shardState {
-	c := newShardCompressor(opts, sid, shared)
-	for _, i := range bucket {
-		c.add(int64(i), &tr.Packets[i])
-	}
-	return c.finish()
-}
-
 // ParallelConfig tunes CompressParallelConfig beyond the plain
 // CompressParallel(tr, opts, workers) entry point.
 type ParallelConfig struct {
@@ -283,14 +273,14 @@ func CompressParallelConfig(tr *trace.Trace, opts Options, cfg ParallelConfig) (
 // replays them against a global template store, renumbering template and
 // address indices. It shares replayMerge with the distributed pipeline
 // (MergeShardResults), so in-process and cross-machine merges cannot diverge.
-func mergeShards(packets int, opts Options, shards []*shardState, shared *cluster.SharedStore, stats *ParallelStats) (*Archive, error) {
+func mergeShards(packets int, opts Options, shards []*shardState, shared *cluster.SharedStore, stats *ParallelStats, so *cluster.StoreObserver) (*Archive, error) {
 	flows := make([][]ShardFlow, len(shards))
 	tpls := make([][]flow.Vector, len(shards))
 	for i, s := range shards {
 		flows[i] = s.flows
 		tpls[i] = storeVectors(s.store)
 	}
-	arch, err := replayMerge(int64(packets), opts, flows, tpls, shared, stats)
+	arch, err := replayMerge(int64(packets), opts, flows, tpls, shared, stats, so)
 	if err == nil && stats != nil {
 		for _, s := range shards {
 			stats.SharedLookups += s.sharedLookups

@@ -10,6 +10,7 @@ import (
 
 	"flowzip/internal/cluster"
 	"flowzip/internal/flow"
+	"flowzip/internal/obs"
 	"flowzip/internal/trace"
 )
 
@@ -47,6 +48,16 @@ type PipelineConfig struct {
 	Progress func(packets int64)
 	// Stats, when non-nil, receives the run's pipeline counters.
 	Stats *ParallelStats
+	// Metrics, when non-nil, receives cumulative pipeline counters into an
+	// obs registry (see NewPipelineMetrics) and attaches the template-store
+	// sampler to every store the run creates. Nil disables all of it at the
+	// cost of one branch per observation site.
+	Metrics *PipelineMetrics
+	// Trace, when non-nil, records partition / shard-compress / finalize /
+	// merge spans for each run. Nil disables tracing (nil-check-only
+	// overhead). Like Progress and Stats, the tracer is a per-run sink:
+	// share a Pipeline across concurrent runs only when it is nil.
+	Trace *obs.Tracer
 
 	// residentPeak, when set by tests, records the high-water mark of
 	// packets resident in the shard channels.
@@ -122,6 +133,16 @@ func (p *Pipeline) Workers() int {
 // in-memory trace can be Sorted first — a stream cannot).
 func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 	workers := p.Workers()
+	m := p.cfg.Metrics
+	tc := p.cfg.Trace
+	so := m.storeObserver()
+	runSpan := tc.Span(0, "compress").ArgInt("workers", int64(workers))
+	if tc != nil {
+		tc.NameThread(0, "pipeline")
+		for w := 0; w < workers; w++ {
+			tc.NameThread(int64(w)+1, fmt.Sprintf("shard %d", w))
+		}
+	}
 	maxResident := p.cfg.MaxResident
 	if maxResident <= 0 {
 		maxResident = DefaultMaxResident
@@ -143,8 +164,12 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 	if p.cfg.SharedTemplates {
 		shared = cluster.NewSharedStore()
 	}
-	if p.cfg.Stats != nil {
-		*p.cfg.Stats = ParallelStats{Workers: workers}
+	stats := p.cfg.Stats
+	if stats == nil && m != nil {
+		stats = new(ParallelStats)
+	}
+	if stats != nil {
+		*stats = ParallelStats{Workers: workers}
 	}
 	shards := make([]*shardState, workers)
 	var resident atomic.Int64
@@ -153,14 +178,21 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sc := newShardCompressor(p.opts, uint16(w), shared)
+			sc := newShardCompressor(p.opts, uint16(w), shared).observe(so)
+			ssp := tc.Span(int64(w)+1, "shard-compress")
 			for ck := range chans[w] {
 				for i := range ck {
 					sc.add(ck[i].idx, &ck[i].p)
 				}
-				resident.Add(-int64(len(ck)))
+				now := resident.Add(-int64(len(ck)))
+				if m != nil {
+					m.Resident.Set(now)
+				}
 			}
+			ssp.End()
+			fsp := tc.Span(int64(w)+1, "finalize")
 			shards[w] = sc.finish()
+			fsp.End()
 		}(w)
 	}
 
@@ -173,6 +205,7 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 			return
 		}
 		now := resident.Add(int64(len(pend[w])))
+		m.observeResident(now)
 		if p.cfg.residentPeak != nil {
 			for {
 				peak := p.cfg.residentPeak.Load()
@@ -192,6 +225,7 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 			close(ch)
 		}
 		wg.Wait()
+		runSpan.End()
 		return nil, err
 	}
 
@@ -210,6 +244,10 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 		if len(batch) == 0 {
 			continue
 		}
+		var batchStart time.Time
+		if m != nil {
+			batchStart = time.Now()
+		}
 		ids := flow.Partition(batch, workers, 1)
 		for i := range batch {
 			ts := batch[i].Timestamp
@@ -224,6 +262,7 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 				send(w)
 			}
 		}
+		m.observeBatch(batchStart, len(batch))
 		if p.cfg.Progress != nil {
 			p.cfg.Progress(gidx)
 		}
@@ -236,7 +275,12 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 	if p.cfg.Progress != nil {
 		p.cfg.Progress(gidx)
 	}
-	return p.stamp(mergeShards(int(gidx), p.opts, shards, shared, p.cfg.Stats))
+	msp := tc.Span(0, "merge").ArgInt("packets", gidx)
+	arch, err := mergeShards(int(gidx), p.opts, shards, shared, stats, so)
+	msp.End()
+	m.addStats(stats)
+	runSpan.End()
+	return p.stamp(arch, err)
 }
 
 // CompressTrace runs the in-memory sharded pipeline over a materialized
@@ -246,11 +290,18 @@ func (p *Pipeline) Compress(src PacketSource) (*Archive, error) {
 // byte-for-byte identical to Compress(tr, opts).
 func (p *Pipeline) CompressTrace(tr *trace.Trace) (*Archive, error) {
 	workers := p.Workers()
-	if p.cfg.Stats != nil {
-		*p.cfg.Stats = ParallelStats{Workers: workers}
+	m := p.cfg.Metrics
+	tc := p.cfg.Trace
+	so := m.storeObserver()
+	stats := p.cfg.Stats
+	if stats == nil && m != nil {
+		stats = new(ParallelStats)
+	}
+	if stats != nil {
+		*stats = ParallelStats{Workers: workers}
 	}
 	if workers == 1 {
-		return p.stamp(Compress(tr, p.opts))
+		return p.stamp(p.compressSerial(tr))
 	}
 	if !tr.IsSorted() {
 		return nil, notSortedError(tr)
@@ -258,7 +309,19 @@ func (p *Pipeline) CompressTrace(tr *trace.Trace) (*Archive, error) {
 	if err := checkParallelPackets(int64(tr.Len())); err != nil {
 		return nil, err
 	}
+	runSpan := tc.Span(0, "compress").ArgInt("workers", int64(workers)).ArgInt("packets", int64(tr.Len()))
+	if tc != nil {
+		tc.NameThread(0, "pipeline")
+		for w := 0; w < workers; w++ {
+			tc.NameThread(int64(w)+1, fmt.Sprintf("shard %d", w))
+		}
+	}
+	var runStart time.Time
+	if m != nil {
+		runStart = time.Now()
+	}
 
+	psp := tc.Span(0, "partition")
 	ids := flow.Partition(tr.Packets, workers, workers)
 
 	// Bucket packet indices per shard so each worker walks only its own
@@ -275,6 +338,7 @@ func (p *Pipeline) CompressTrace(tr *trace.Trace) (*Archive, error) {
 	for i, id := range ids {
 		buckets[id] = append(buckets[id], int32(i))
 	}
+	psp.End()
 
 	var shared *cluster.SharedStore
 	if p.cfg.SharedTemplates {
@@ -286,12 +350,63 @@ func (p *Pipeline) CompressTrace(tr *trace.Trace) (*Archive, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			shards[w] = compressShard(tr, p.opts, buckets[w], uint16(w), shared)
+			sc := newShardCompressor(p.opts, uint16(w), shared).observe(so)
+			ssp := tc.Span(int64(w)+1, "shard-compress").ArgInt("packets", int64(len(buckets[w])))
+			for _, i := range buckets[w] {
+				sc.add(int64(i), &tr.Packets[i])
+			}
+			ssp.End()
+			fsp := tc.Span(int64(w)+1, "finalize")
+			shards[w] = sc.finish()
+			fsp.End()
 		}(w)
 	}
 	wg.Wait()
 
-	return p.stamp(mergeShards(tr.Len(), p.opts, shards, shared, p.cfg.Stats))
+	msp := tc.Span(0, "merge").ArgInt("packets", int64(tr.Len()))
+	arch, err := mergeShards(tr.Len(), p.opts, shards, shared, stats, so)
+	msp.End()
+	if m != nil {
+		m.observeBatch(runStart, tr.Len())
+		m.addStats(stats)
+	}
+	runSpan.End()
+	return p.stamp(arch, err)
+}
+
+// compressSerial is the one-worker fallback: the plain serial compressor,
+// with the pipeline's tracer and store sampler attached when configured.
+func (p *Pipeline) compressSerial(tr *trace.Trace) (*Archive, error) {
+	m := p.cfg.Metrics
+	tc := p.cfg.Trace
+	if m == nil && tc == nil {
+		return Compress(tr, p.opts)
+	}
+	sp := tc.Span(0, "compress").ArgInt("packets", int64(tr.Len()))
+	defer sp.End()
+	if tc != nil {
+		tc.NameThread(0, "pipeline")
+	}
+	if !tr.IsSorted() {
+		return nil, notSortedError(tr)
+	}
+	c, err := NewCompressor(p.opts)
+	if err != nil {
+		return nil, err
+	}
+	c.Observe(m.storeObserver())
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	for i := range tr.Packets {
+		c.Add(&tr.Packets[i])
+	}
+	fsp := tc.Span(0, "finalize")
+	a := c.Finish()
+	fsp.End()
+	m.observeBatch(start, tr.Len())
+	return a, nil
 }
 
 // clampWorkers maps a legacy worker count onto the strict PipelineConfig

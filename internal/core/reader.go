@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flowzip/internal/flow"
+	"flowzip/internal/obs"
 	"flowzip/internal/pkt"
 	"flowzip/internal/radix"
 	"flowzip/internal/stats"
@@ -130,6 +131,11 @@ type Reader struct {
 	addrs []pkt.IPv4
 	tree  *radix.Tree // /32 per address, next hop = address id
 
+	// Observability sinks, attached with Observe/SetTracer before the
+	// first query (they are not synchronized with in-flight queries).
+	metrics *ReaderMetrics
+	tracer  *obs.Tracer
+
 	mu sync.Mutex
 	// arch holds the lazily loaded template caches (plus addresses and
 	// options) in Archive shape so the decompressor machinery applies
@@ -174,6 +180,22 @@ func OpenReaderFile(path string) (*Reader, error) {
 	}
 	r.closer = f
 	return r, nil
+}
+
+// Observe attaches registry-backed counters to the reader (nil detaches)
+// and returns the reader. Attach before the first query.
+func (r *Reader) Observe(m *ReaderMetrics) *Reader {
+	r.metrics = m
+	return r
+}
+
+// SetTracer attaches a span tracer to the reader's queries (nil
+// detaches). Attach before the first query.
+func (r *Reader) SetTracer(t *obs.Tracer) {
+	r.tracer = t
+	if t != nil {
+		t.NameThread(0, "reader")
+	}
 }
 
 // Close releases the underlying file, when the Reader owns one.
@@ -363,6 +385,9 @@ func sectionEnd(offs []int64, i int, sectionLen int64) int64 {
 // loadShort loads short template id into the cache. Callers hold r.mu.
 func (r *Reader) loadShort(id int) error {
 	if r.shortLoaded[id] {
+		if r.metrics != nil {
+			r.metrics.TemplateCacheHits.Inc()
+		}
 		return nil
 	}
 	off := r.idx.shortOffs[id]
@@ -379,12 +404,19 @@ func (r *Reader) loadShort(id int) error {
 	r.shortLoaded[id] = true
 	r.bodyBytes += int64(len(b))
 	r.tplRead++
+	if r.metrics != nil {
+		r.metrics.TemplatesLoaded.Inc()
+		r.metrics.BodyBytesRead.Add(int64(len(b)))
+	}
 	return nil
 }
 
 // loadLong loads long template id into the cache. Callers hold r.mu.
 func (r *Reader) loadLong(id int) error {
 	if r.longLoaded[id] {
+		if r.metrics != nil {
+			r.metrics.TemplateCacheHits.Inc()
+		}
 		return nil
 	}
 	off := r.idx.longOffs[id]
@@ -418,6 +450,10 @@ func (r *Reader) loadLong(id int) error {
 	r.longLoaded[id] = true
 	r.bodyBytes += int64(len(b))
 	r.tplRead++
+	if r.metrics != nil {
+		r.metrics.TemplatesLoaded.Inc()
+		r.metrics.BodyBytesRead.Add(int64(len(b)))
+	}
 	return nil
 }
 
@@ -481,6 +517,10 @@ func (r *Reader) decodeGroup(d *Decompressor, g int, f FlowFilter, rng *stats.RN
 	}
 	r.bodyBytes += int64(len(b))
 	r.groupsRead++
+	if r.metrics != nil {
+		r.metrics.GroupsDecoded.Inc()
+		r.metrics.BodyBytesRead.Add(int64(len(b)))
+	}
 	ir := &indexReader{b: b}
 	prev := time.Duration(r.idx.baseUS(g)) * time.Microsecond
 	for j := 0; j < gi.count; j++ {
@@ -544,6 +584,7 @@ func (r *Reader) ExtractFlows(f FlowFilter) (*trace.Trace, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
+	sp := r.tracer.Span(0, "extract")
 	groups := r.selectGroups(f)
 
 	r.mu.Lock()
@@ -557,18 +598,26 @@ func (r *Reader) ExtractFlows(f FlowFilter) (*trace.Trace, error) {
 		rngSkipRecords(rng, gi.startRec-pos)
 		if cursors, err = r.decodeGroup(d, g, f, rng, cursors); err != nil {
 			r.mu.Unlock()
+			sp.End()
 			return nil, err
 		}
 		pos = gi.startRec + gi.count
 	}
 	r.flowsOut += len(cursors)
 	r.mu.Unlock()
+	if r.metrics != nil {
+		r.metrics.Extracts.Inc()
+		r.metrics.FlowsMatched.Add(int64(len(cursors)))
+	}
 
+	msp := r.tracer.Span(0, "merge-cursors")
 	tr := trace.New("extract")
 	mergeCursors(len(cursors),
 		func(i int) *flowCursor { return cursors[i] },
 		func(i int) time.Duration { return cursors[i].spec.start },
 		tr.Append)
+	msp.End()
+	sp.ArgInt("groups", int64(len(groups))).ArgInt("flows", int64(len(cursors))).End()
 	return tr, nil
 }
 

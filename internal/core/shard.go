@@ -223,7 +223,7 @@ func MergeShardResultsShared(results []*ShardResult, shared *cluster.SharedStore
 		flows[i] = r.Flows
 		tpls[i] = r.Templates
 	}
-	return replayMerge(packets, opts, flows, tpls, shared, nil)
+	return replayMerge(packets, opts, flows, tpls, shared, nil, nil)
 }
 
 // storeVectors extracts a store's template vectors in creation order.
@@ -252,7 +252,7 @@ func storeVectors(s *cluster.Store) []flow.Vector {
 // happens at identical points with identical vectors, and the archive stays
 // byte-for-byte identical to serial Compress; only the Match-call count
 // drops, which stats reports.
-func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow.Vector, shared *cluster.SharedStore, stats *ParallelStats) (*Archive, error) {
+func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow.Vector, shared *cluster.SharedStore, stats *ParallelStats, so *cluster.StoreObserver) (*Archive, error) {
 	total := 0
 	for _, fs := range flows {
 		total += len(fs)
@@ -276,7 +276,7 @@ func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow
 		return cmp.Compare(a.Hash, b.Hash)
 	})
 
-	store := cluster.NewStoreLimit(opts.limit()).EnableMemo()
+	store := cluster.NewStoreLimit(opts.limit()).EnableMemo().Observe(so)
 	var resolved []*cluster.Template // shared global id -> merge-store template
 	if shared != nil {
 		resolved = make([]*cluster.Template, shared.Len())

@@ -5,13 +5,16 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"sync"
+	"time"
 
 	"flowzip/internal/cluster"
 	"flowzip/internal/core"
 	"flowzip/internal/flow"
+	"flowzip/internal/obs"
 )
 
 // DefaultShardRetries is the historical name of the shard failure budget;
@@ -48,8 +51,20 @@ type CoordinatorConfig struct {
 	// shard is re-queued instead of poisoning the final merge.
 	Shared *cluster.SharedStore
 	// Logf, when non-nil, receives progress lines (registrations,
-	// assignments, failures).
+	// assignments, failures). Superseded by Logger when both are set.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured progress records with
+	// consistent keys (worker, shard, err). Takes precedence over Logf;
+	// when both are nil, logging is off.
+	Logger *slog.Logger
+	// MetricsAddr, when non-empty, serves the coordinator's metrics
+	// registry (assignments, requeues, shard latency, runtime signals) in
+	// Prometheus text format on http://<MetricsAddr>/metrics for the life
+	// of the run.
+	MetricsAddr string
+	// Debug additionally mounts net/http/pprof and /debug/vars on the
+	// metrics server.
+	Debug bool
 }
 
 func (c *CoordinatorConfig) fillDefaults() {
@@ -57,8 +72,29 @@ func (c *CoordinatorConfig) fillDefaults() {
 		c.ListenAddr = "127.0.0.1:0"
 	}
 	c.NetConfig.fillDefaults()
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = obs.LogfLogger(c.Logf) // nil Logf -> nop logger
+	}
+}
+
+// coordMetrics is the coordinator's registry-backed counter set.
+type coordMetrics struct {
+	workers      *obs.Counter
+	assignments  *obs.Counter
+	results      *obs.Counter
+	requeues     *obs.Counter
+	pending      *obs.Gauge
+	shardSeconds *obs.Histogram
+}
+
+func newCoordMetrics(reg *obs.Registry) *coordMetrics {
+	return &coordMetrics{
+		workers:      reg.Counter("dist_workers_registered_total", "Workers that completed the hello handshake."),
+		assignments:  reg.Counter("dist_assignments_total", "Shard assignments handed to workers (including re-assignments)."),
+		results:      reg.Counter("dist_results_total", "Shard results accepted."),
+		requeues:     reg.Counter("dist_requeues_total", "Shard failures that re-queued the shard for another worker."),
+		pending:      reg.Gauge("dist_pending_shards", "Shards awaiting assignment."),
+		shardSeconds: reg.Histogram("dist_shard_seconds", "Latency from shard assignment to result acceptance.", obs.DefaultLatencyBuckets),
 	}
 }
 
@@ -70,6 +106,12 @@ func (c *CoordinatorConfig) fillDefaults() {
 type Coordinator struct {
 	cfg CoordinatorConfig
 	srv *Server
+	log *slog.Logger
+
+	reg     *obs.Registry
+	metrics *coordMetrics
+	maddr   net.Addr
+	mstop   func()
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -95,20 +137,44 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	cfg.fillDefaults()
 	c := &Coordinator{
 		cfg:      cfg,
+		log:      cfg.Logger,
+		reg:      obs.NewRegistry(),
 		failures: make(map[int]int),
 		results:  make(map[int]*core.ShardResult),
 	}
+	c.metrics = newCoordMetrics(c.reg)
 	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < cfg.Shards; i++ {
 		c.pending = append(c.pending, i)
 	}
+	c.metrics.pending.Set(int64(cfg.Shards))
+	if cfg.MetricsAddr != "" {
+		obs.RegisterRuntimeMetrics(c.reg)
+		addr, stop, err := obs.Serve(cfg.MetricsAddr, c.reg, cfg.Debug)
+		if err != nil {
+			return nil, err
+		}
+		c.maddr, c.mstop = addr, stop
+	}
 	srv, err := Serve(cfg.ListenAddr, c.serveWorker)
 	if err != nil {
+		if c.mstop != nil {
+			c.mstop()
+		}
 		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
 	}
 	c.srv = srv
 	return c, nil
 }
+
+// MetricsAddr returns the bound metrics listener address, or nil when
+// metrics serving is off — useful when MetricsAddr requested an
+// ephemeral port.
+func (c *Coordinator) MetricsAddr() net.Addr { return c.maddr }
+
+// Registry returns the coordinator's metrics registry (always non-nil),
+// so embedders can render or extend it without the HTTP server.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
 
 // Addr returns the listener address workers should Dial — useful when
 // ListenAddr requested an ephemeral port.
@@ -130,6 +196,7 @@ func (c *Coordinator) takeShard() (int, bool) {
 		if len(c.pending) > 0 {
 			shard := c.pending[0]
 			c.pending = c.pending[1:]
+			c.metrics.pending.Set(int64(len(c.pending)))
 			return shard, true
 		}
 		// Nothing pending, but other workers still hold assignments that
@@ -154,24 +221,28 @@ func (c *Coordinator) requeue(shard int, cause error) {
 		}
 	} else {
 		c.pending = append(c.pending, shard)
+		c.metrics.requeues.Inc()
+		c.metrics.pending.Set(int64(len(c.pending)))
 	}
 	c.cond.Broadcast()
 }
 
 // serveWorker runs the assignment loop for one connection.
 func (c *Coordinator) serveWorker(conn net.Conn) {
+	wlog := c.log.With("worker", conn.RemoteAddr().String())
 	br := bufio.NewReader(conn)
 	typ, payload, err := readFrame(conn, br, c.cfg.FrameTimeout, maxControlPayload)
 	if err != nil || typ != frameHello {
-		c.cfg.Logf("dist: worker %s rejected: bad hello (%v)", conn.RemoteAddr(), err)
+		wlog.Warn("dist: worker rejected: bad hello", "err", err)
 		return
 	}
 	s := &sectionReader{b: payload}
 	if v, err := s.uvarint(); err != nil || v != protoVersion {
-		c.cfg.Logf("dist: worker %s rejected: protocol version %d, want %d", conn.RemoteAddr(), v, protoVersion)
+		wlog.Warn("dist: worker rejected: protocol version mismatch", "got", v, "want", protoVersion)
 		return
 	}
-	c.cfg.Logf("dist: worker %s registered", conn.RemoteAddr())
+	wlog.Info("dist: worker registered")
+	c.metrics.workers.Inc()
 
 	for {
 		shard, ok := c.takeShard()
@@ -192,16 +263,18 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 			}
 			return
 		}
-		c.cfg.Logf("dist: shard %d/%d -> worker %s", shard, c.cfg.Shards, conn.RemoteAddr())
+		wlog.Info("dist: shard assigned", "shard", shard, "shards", c.cfg.Shards)
+		c.metrics.assignments.Inc()
+		assigned := time.Now()
 		a := assignment{index: shard, count: c.cfg.Shards, opts: c.cfg.Opts}
 		if err := writeFrame(conn, c.cfg.FrameTimeout, frameAssign, encodeAssignment(a)); err != nil {
-			c.cfg.Logf("dist: worker %s dropped (%v); re-queueing shard %d", conn.RemoteAddr(), err, shard)
+			wlog.Warn("dist: worker dropped; re-queueing shard", "shard", shard, "err", err)
 			c.requeue(shard, err)
 			return
 		}
 		typ, payload, err := readFrame(conn, br, c.cfg.ResultTimeout, maxFramePayload)
 		if err != nil {
-			c.cfg.Logf("dist: worker %s dropped (%v); re-queueing shard %d", conn.RemoteAddr(), err, shard)
+			wlog.Warn("dist: worker dropped; re-queueing shard", "shard", shard, "err", err)
 			c.requeue(shard, err)
 			return
 		}
@@ -209,7 +282,7 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 		case frameResult:
 			r, err := c.acceptResult(shard, payload)
 			if err != nil {
-				c.cfg.Logf("dist: worker %s sent a bad shard %d result (%v)", conn.RemoteAddr(), shard, err)
+				wlog.Warn("dist: bad shard result", "shard", shard, "err", err)
 				// Tell the worker why before dropping it, so a
 				// misconfigured worker exits with the rejection instead of
 				// mistaking the hang-up for a completed run.
@@ -218,11 +291,13 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 				c.requeue(shard, err)
 				return
 			}
-			c.cfg.Logf("dist: shard %d done (%d flows)", shard, len(r.Flows))
+			c.metrics.results.Inc()
+			c.metrics.shardSeconds.Observe(time.Since(assigned).Seconds())
+			wlog.Info("dist: shard done", "shard", shard, "flows", len(r.Flows))
 		case frameFail:
 			idx, msg, _ := decodeFail(payload)
 			err := fmt.Errorf("dist: worker %s failed shard %d: %s", conn.RemoteAddr(), idx, msg)
-			c.cfg.Logf("%v", err)
+			wlog.Warn("dist: worker failed shard", "shard", idx, "err", msg)
 			c.requeue(shard, err)
 			// The worker proved unable to compress; drop the connection so
 			// the shard goes to a different worker.
@@ -324,8 +399,13 @@ func (c *Coordinator) shutdown(force bool) {
 	c.mu.Lock()
 	c.closed = true
 	c.cond.Broadcast()
+	stop := c.mstop
+	c.mstop = nil
 	c.mu.Unlock()
 	c.srv.Shutdown(force)
+	if stop != nil {
+		stop()
+	}
 }
 
 // Close aborts the run: it stops accepting workers, unblocks Wait with an

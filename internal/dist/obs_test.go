@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"flowzip/internal/core"
+	"flowzip/internal/promtext"
+	"flowzip/internal/trace"
+)
+
+// TestCoordinatorMetricsEndpoint runs a loopback distributed compression
+// with the metrics listener on: after the workers finish, a scrape must be
+// strict-lint clean and account for every shard, and the archive must stay
+// byte-identical to serial Compress.
+func TestCoordinatorMetricsEndpoint(t *testing.T) {
+	defer checkGoroutines(t)()
+	tr := fractalTrace(31, 8000)
+	const shards, workers = 4, 2
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Shards:      shards,
+		Opts:        core.DefaultOptions(),
+		MetricsAddr: "127.0.0.1:0",
+		Debug:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord.MetricsAddr() == nil {
+		t.Fatal("no metrics address bound")
+	}
+
+	addr := coord.Addr().String()
+	newSource := func() (core.PacketSource, error) { return trace.Batches(tr, 0), nil }
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := Dial(addr, WorkerConfig{Source: newSource})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	// All results are in but Wait has not torn the run down: scrape now.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", coord.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := promtext.Parse(bytes.NewReader(body), true)
+	if err != nil {
+		t.Fatalf("strict parse of coordinator scrape: %v\n%s", err, body)
+	}
+	values := map[string]float64{}
+	for _, s := range res.Samples {
+		if len(s.Labels) == 0 {
+			values[s.Name] = s.Value
+		}
+	}
+	if got := values["dist_workers_registered_total"]; got != workers {
+		t.Errorf("dist_workers_registered_total = %v, want %d", got, workers)
+	}
+	if got := values["dist_results_total"]; got != shards {
+		t.Errorf("dist_results_total = %v, want %d", got, shards)
+	}
+	if got := values["dist_assignments_total"]; got < shards {
+		t.Errorf("dist_assignments_total = %v, want >= %d", got, shards)
+	}
+	if got := values["dist_pending_shards"]; got != 0 {
+		t.Errorf("dist_pending_shards = %v, want 0", got)
+	}
+	var shardHist *promtext.Histogram
+	for _, h := range res.Histograms {
+		if h.Name == "dist_shard_seconds" {
+			shardHist = h
+		}
+	}
+	if shardHist == nil {
+		t.Fatal("no dist_shard_seconds histogram in scrape")
+	}
+	if shardHist.Count != shards {
+		t.Errorf("dist_shard_seconds count = %d, want %d", shardHist.Count, shards)
+	}
+
+	// Debug mounts pprof on the same listener.
+	dresp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", coord.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on coordinator: %s", dresp.Status)
+	}
+
+	arch, err := coord.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := core.Compress(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeArchive(t, arch), encodeArchive(t, serial)) {
+		t.Error("distributed archive differs from serial with metrics enabled")
+	}
+
+	// Wait's shutdown also stops the metrics listener.
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", coord.MetricsAddr())); err == nil {
+		t.Error("metrics endpoint still serving after Wait")
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"syscall"
 
 	"flowzip/internal/cluster"
 	"flowzip/internal/core"
+	"flowzip/internal/obs"
 )
 
 // WorkerConfig parameterizes a compression worker.
@@ -32,8 +34,12 @@ type WorkerConfig struct {
 	// deployment (CompressDistributedShared). Leave nil for workers that
 	// dial a coordinator on another machine.
 	Shared *cluster.SharedStore
-	// Logf, when non-nil, receives progress lines.
+	// Logf, when non-nil, receives progress lines. Superseded by Logger
+	// when both are set.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured progress records. Takes
+	// precedence over Logf; when both are nil, logging is off.
+	Logger *slog.Logger
 }
 
 func (c *WorkerConfig) fillDefaults() error {
@@ -44,8 +50,8 @@ func (c *WorkerConfig) fillDefaults() error {
 		return err
 	}
 	c.NetConfig.fillDefaults()
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = obs.LogfLogger(c.Logf) // nil Logf -> nop logger
 	}
 	return nil
 }
@@ -94,14 +100,14 @@ func (w *Worker) Run() error {
 		typ, payload, err := readFrame(w.conn, w.br, w.cfg.ResultTimeout, maxControlPayload)
 		if err != nil {
 			if w.exchanges > 0 && isDisconnect(err) {
-				w.cfg.Logf("dist: coordinator hung up after %d shards; assuming run complete", w.exchanges)
+				w.cfg.Logger.Info("dist: coordinator hung up; assuming run complete", "shards", w.exchanges)
 				return nil
 			}
 			return fmt.Errorf("dist: waiting for assignment: %w", err)
 		}
 		switch typ {
 		case frameDone:
-			w.cfg.Logf("dist: coordinator done; %d shards compressed", w.exchanges)
+			w.cfg.Logger.Info("dist: coordinator done", "shards", w.exchanges)
 			return nil
 		case frameFail:
 			// The coordinator rejected our last result or aborted the run,
@@ -128,7 +134,7 @@ func (w *Worker) Run() error {
 
 // compress runs one assignment end to end.
 func (w *Worker) compress(a assignment) error {
-	w.cfg.Logf("dist: compressing shard %d/%d", a.index, a.count)
+	w.cfg.Logger.Info("dist: compressing shard", "shard", a.index, "shards", a.count)
 	src, err := w.cfg.Source()
 	if err != nil {
 		return fmt.Errorf("dist: shard %d source: %w", a.index, err)

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// runtimeSample maps a runtime/metrics name onto a registry series.
+type runtimeSample struct {
+	runtime string
+	name    string
+	help    string
+	counter bool
+}
+
+var runtimeSamples = []runtimeSample{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines.", false},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of heap memory occupied by live objects.", false},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles since program start.", true},
+	{"/gc/pauses:seconds", "go_gc_pause_seconds_total", "Total time goroutines have spent paused for GC.", true},
+}
+
+// RegisterRuntimeMetrics registers Go runtime signals (goroutines, heap
+// bytes, GC cycles, cumulative GC pause) as render-time sampled series.
+// Unsupported names on older runtimes are skipped silently.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	descs := metrics.All()
+	known := make(map[string]metrics.ValueKind, len(descs))
+	for _, d := range descs {
+		known[d.Name] = d.Kind
+	}
+	for _, rs := range runtimeSamples {
+		kind, ok := known[rs.runtime]
+		if !ok || kind == metrics.KindBad {
+			continue
+		}
+		rs := rs
+		fn := func() float64 {
+			sample := []metrics.Sample{{Name: rs.runtime}}
+			metrics.Read(sample)
+			switch sample[0].Value.Kind() {
+			case metrics.KindUint64:
+				return float64(sample[0].Value.Uint64())
+			case metrics.KindFloat64:
+				return sample[0].Value.Float64()
+			case metrics.KindFloat64Histogram:
+				// Fold the histogram into a weighted total: for GC
+				// pauses this yields cumulative pause seconds.
+				h := sample[0].Value.Float64Histogram()
+				var total float64
+				for i, count := range h.Counts {
+					if count == 0 {
+						continue
+					}
+					lo, hi := h.Buckets[i], h.Buckets[i+1]
+					// Outermost buckets can be ±Inf; fall back to the
+					// finite edge, or 0 if neither is finite.
+					mid := (lo + hi) / 2
+					if !finite(mid) {
+						switch {
+						case finite(lo):
+							mid = lo
+						case finite(hi):
+							mid = hi
+						default:
+							mid = 0
+						}
+					}
+					total += float64(count) * mid
+				}
+				return total
+			}
+			return 0
+		}
+		if rs.counter {
+			r.CounterFunc(rs.name, rs.help, fn)
+		} else {
+			r.GaugeFunc(rs.name, rs.help, fn)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package promtext parses the Prometheus text exposition format
+// (version 0.0.4) — the format internal/obs renders and flowzipd serves
+// on /metrics. It is shared by cmd/benchjson (-prom mode) and the
+// round-trip tests that keep the daemon's exposition byte-compatible.
+//
+// Plain counter and gauge lines become Samples. Families declared
+// `# TYPE <name> histogram` have their `_bucket`/`_sum`/`_count` series
+// folded into Histograms. In strict mode the parser additionally lints
+// the exposition: every family must carry # HELP and # TYPE headers,
+// metric names must be well-formed, histogram buckets must be cumulative
+// and the +Inf bucket must equal the family's _count.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed counter/gauge sample line.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket. LE stays a string because
+// "+Inf" has no JSON float representation.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Histogram is a folded histogram family: its _bucket series in
+// exposition order plus the _sum and _count samples.
+type Histogram struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Buckets []Bucket          `json:"buckets"`
+	Sum     float64           `json:"sum"`
+	Count   int64             `json:"count"`
+
+	sawSum   bool
+	sawCount bool
+}
+
+// Result holds everything parsed from one exposition page.
+type Result struct {
+	Samples    []Sample
+	Histograms []*Histogram
+}
+
+// histBase returns the histogram family name if s is one of its member
+// series (per the types map), else "".
+func histBase(s string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(s, suffix); ok && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\xff')
+		b.WriteString(labels[k])
+		b.WriteByte('\xfe')
+	}
+	return b.String()
+}
+
+// Parse scans one exposition page. Comment and blank lines are metadata
+// or skipped; every other line must parse as `name[{labels}] value` —
+// unlike bench output, a metrics page has no legitimate unrecognized
+// lines. With strict set, lint violations are errors too.
+func Parse(r io.Reader, strict bool) (*Result, error) {
+	res := &Result{}
+	types := map[string]string{}
+	helps := map[string]bool{}
+	hists := map[string]*Histogram{}
+	seen := map[string]bool{} // families with at least one sample, in input order
+	var seenOrder []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, arg, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			switch kind {
+			case "TYPE":
+				if strict {
+					switch arg {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return nil, fmt.Errorf("metrics line %d: unknown TYPE %q for %s", n, arg, name)
+					}
+					if !validName(name) {
+						return nil, fmt.Errorf("metrics line %d: invalid metric name %q", n, name)
+					}
+				}
+				types[name] = arg
+			case "HELP":
+				helps[name] = true
+			}
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", n, err)
+		}
+		family := s.Name
+		if base := histBase(s.Name, types); base != "" {
+			family = base
+			foldHistogram(hists, res, base, s)
+		} else {
+			res.Samples = append(res.Samples, s)
+		}
+		if strict && !validName(s.Name) {
+			return nil, fmt.Errorf("metrics line %d: invalid metric name %q", n, s.Name)
+		}
+		if !seen[family] {
+			seen[family] = true
+			seenOrder = append(seenOrder, family)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading input: %w", err)
+	}
+	if strict {
+		if err := lint(res, types, helps, seenOrder); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func foldHistogram(hists map[string]*Histogram, res *Result, base string, s Sample) {
+	labels := s.Labels
+	le := ""
+	isBucket := strings.HasSuffix(s.Name, "_bucket")
+	if isBucket {
+		le = labels["le"]
+		if len(labels) > 1 {
+			nl := make(map[string]string, len(labels)-1)
+			for k, v := range labels {
+				if k != "le" {
+					nl[k] = v
+				}
+			}
+			labels = nl
+		} else {
+			labels = nil
+		}
+	}
+	key := base + "\x00" + labelKey(labels)
+	h, ok := hists[key]
+	if !ok {
+		h = &Histogram{Name: base, Labels: labels}
+		hists[key] = h
+		res.Histograms = append(res.Histograms, h)
+	}
+	switch {
+	case isBucket:
+		h.Buckets = append(h.Buckets, Bucket{LE: le, Count: int64(s.Value)})
+	case strings.HasSuffix(s.Name, "_sum"):
+		h.Sum = s.Value
+		h.sawSum = true
+	default:
+		h.Count = int64(s.Value)
+		h.sawCount = true
+	}
+}
+
+func lint(res *Result, types map[string]string, helps map[string]bool, seenOrder []string) error {
+	for _, family := range seenOrder {
+		if !helps[family] {
+			return fmt.Errorf("metrics lint: family %s has samples but no # HELP", family)
+		}
+		if _, ok := types[family]; !ok {
+			return fmt.Errorf("metrics lint: family %s has samples but no # TYPE", family)
+		}
+	}
+	for _, h := range res.Histograms {
+		if len(h.Buckets) == 0 {
+			return fmt.Errorf("metrics lint: histogram %s has no _bucket series", h.Name)
+		}
+		if !h.sawSum || !h.sawCount {
+			return fmt.Errorf("metrics lint: histogram %s is missing _sum or _count", h.Name)
+		}
+		var prev int64
+		prevLE := ""
+		for _, b := range h.Buckets {
+			if b.Count < prev {
+				return fmt.Errorf("metrics lint: histogram %s bucket le=%q count %d below previous bucket (le=%q, %d) — buckets must be cumulative",
+					h.Name, b.LE, b.Count, prevLE, prev)
+			}
+			prev, prevLE = b.Count, b.LE
+		}
+		last := h.Buckets[len(h.Buckets)-1]
+		if last.LE != "+Inf" {
+			return fmt.Errorf("metrics lint: histogram %s last bucket is le=%q, want +Inf", h.Name, last.LE)
+		}
+		if last.Count != h.Count {
+			return fmt.Errorf("metrics lint: histogram %s +Inf bucket %d != _count %d", h.Name, last.Count, h.Count)
+		}
+	}
+	return nil
+}
+
+// parseComment splits `# TYPE name arg...` / `# HELP name text...`.
+func parseComment(line string) (kind, name, arg string, ok bool) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	kind, rest, found := strings.Cut(rest, " ")
+	if !found || (kind != "TYPE" && kind != "HELP") {
+		return "", "", "", false
+	}
+	rest = strings.TrimSpace(rest)
+	name, arg, _ = strings.Cut(rest, " ")
+	return kind, name, strings.TrimSpace(arg), name != ""
+}
+
+// parseLine parses one sample line: `name[{label="value",...}] value`.
+func parseLine(line string) (Sample, error) {
+	name := line
+	rest := ""
+	var labels map[string]string
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		close := strings.LastIndexByte(line, '}')
+		if close < open {
+			return Sample{}, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		name = line[:open]
+		rest = line[close+1:]
+		var err error
+		if labels, err = parseLabels(line[open+1 : close]); err != nil {
+			return Sample{}, err
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return Sample{}, fmt.Errorf("want `name value`, got %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := parseValue(strings.TrimSpace(rest))
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample value in %q: %w", line, err)
+	}
+	return Sample{Name: name, Labels: labels, Value: v}, nil
+}
+
+func parseValue(s string) (float64, error) {
+	// strconv accepts "+Inf"/"-Inf"/"NaN" already; exposition format
+	// uses exactly those spellings.
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k1="v1",k2="v2"`. Escapes inside label values
+// follow the exposition format's quoting rules (\\, \", \n).
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for s = strings.TrimSpace(s); s != ""; {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		var val strings.Builder
+		i := eq + 2
+		for {
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				i++
+				switch s[i] {
+				case 'n':
+					c = '\n'
+				default:
+					c = s[i]
+				}
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+		s = strings.TrimSpace(s[i+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}

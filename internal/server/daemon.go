@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 
 	"flowzip/internal/core"
 	"flowzip/internal/dist"
+	"flowzip/internal/obs"
 	"flowzip/internal/pkt"
 )
 
@@ -53,6 +55,10 @@ type Config struct {
 	// MetricsAddr, when non-empty, serves the Prometheus text endpoint
 	// /metrics on this address.
 	MetricsAddr string
+	// Debug additionally mounts net/http/pprof and expvar under /debug on
+	// the metrics listener, for live profiling of a loaded daemon. It has
+	// no effect when MetricsAddr is empty.
+	Debug bool
 	// Dir is the archive root: each tenant's segments land in Dir/<tenant>/
 	// as plain flowzip archives plus .fzmeta sidecars. Required.
 	Dir string
@@ -76,8 +82,17 @@ type Config struct {
 	// archive segments.
 	Quotas   Quotas
 	Rotation Rotation
-	// Logf, when non-nil, receives progress lines.
+	// Logf, when non-nil, receives progress lines. Superseded by Logger
+	// when both are set.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured progress records with
+	// consistent keys (tenant, session, seq, archive). Takes precedence
+	// over Logf; when both are nil, logging is off.
+	Logger *slog.Logger
+	// Trace, when non-nil, records per-session spans (one trace thread per
+	// session id): the session lifetime and every segment write. The
+	// caller owns writing the trace out (obs.Tracer.WriteFile).
+	Trace *obs.Tracer
 }
 
 func (c *Config) validate() error {
@@ -115,6 +130,8 @@ func (c *Config) validate() error {
 // quotas, never different bytes.
 type Daemon struct {
 	cfg     Config
+	log     *slog.Logger
+	tracer  *obs.Tracer
 	metrics *Metrics
 	srv     *dist.Server
 
@@ -136,20 +153,22 @@ func New(cfg Config) (*Daemon, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.LogfLogger(cfg.Logf) // nil Logf -> nop logger
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: archive root: %w", err)
 	}
 	d := &Daemon{
 		cfg:         cfg,
+		log:         cfg.Logger,
+		tracer:      cfg.Trace,
 		metrics:     newMetrics(),
 		drain:       make(chan struct{}),
 		tenantBytes: make(map[string]int64),
 	}
 	if cfg.MetricsAddr != "" {
-		maddr, mstop, err := serveMetrics(cfg.MetricsAddr, d.metrics)
+		maddr, mstop, err := obs.Serve(cfg.MetricsAddr, d.metrics.reg, cfg.Debug)
 		if err != nil {
 			return nil, err
 		}
@@ -228,13 +247,13 @@ func (d *Daemon) handle(conn net.Conn) {
 	tenant, opts, err := sc.Accept()
 	if err != nil {
 		d.metrics.SessionsRejected.Add(1)
-		d.cfg.Logf("server: %s rejected: %v", conn.RemoteAddr(), err)
+		d.log.Warn("server: session rejected", "remote", conn.RemoteAddr().String(), "err", err)
 		return
 	}
 	s, err := d.admit(tenant, opts)
 	if err != nil {
 		d.metrics.SessionsRejected.Add(1)
-		d.cfg.Logf("server: %s (tenant %s) rejected: %v", conn.RemoteAddr(), tenant, err)
+		d.log.Warn("server: session rejected", "remote", conn.RemoteAddr().String(), "tenant", tenant, "err", err)
 		_ = sc.SendFail(err.Error())
 		return
 	}
@@ -245,7 +264,7 @@ func (d *Daemon) handle(conn net.Conn) {
 		<-s.done
 		return
 	}
-	d.cfg.Logf("server: session %d open: tenant %s from %s", s.id, tenant, conn.RemoteAddr())
+	d.log.Info("server: session open", "session", s.id, "tenant", tenant, "remote", conn.RemoteAddr().String())
 	d.serveSession(sc, s)
 }
 
@@ -264,6 +283,7 @@ func (d *Daemon) admit(tenant string, opts core.Options) (*session, error) {
 		MaxResident:     d.cfg.Quotas.MaxResident,
 		Index:           core.IndexConfig{Enabled: !d.cfg.PlainSegments},
 		Stats:           stats,
+		Metrics:         d.metrics.Pipeline,
 	})
 	if err != nil {
 		return nil, err
@@ -365,6 +385,7 @@ loop:
 			case len(fe.batch) == 0:
 				continue
 			}
+			feed := time.Now()
 			select {
 			case s.batches <- fe.batch:
 			case <-s.failed:
@@ -374,6 +395,7 @@ loop:
 			total += int64(len(fe.batch))
 			d.metrics.Batches.Add(1)
 			d.metrics.Packets.Add(int64(len(fe.batch)))
+			d.metrics.BatchSeconds.Observe(time.Since(feed).Seconds())
 			if err := sc.SendAck(total); err != nil {
 				end = ReasonDisconnect
 				break loop
@@ -394,18 +416,18 @@ loop:
 	switch {
 	case s.pipeErr != nil:
 		d.metrics.SessionsFailed.Add(1)
-		d.cfg.Logf("server: session %d failed: %v", s.id, s.pipeErr)
+		d.log.Warn("server: session failed", "session", s.id, "tenant", s.tenant, "err", s.pipeErr)
 		_ = sc.SendFail(s.pipeErr.Error())
 	case end == ReasonClose:
 		d.metrics.SessionsCompleted.Add(1)
-		d.cfg.Logf("server: session %d closed: %d packets, %d archives, %d bytes",
-			s.id, s.summary.Packets, s.summary.Archives, s.summary.ArchiveBytes)
+		d.log.Info("server: session closed", "session", s.id, "tenant", s.tenant,
+			"packets", s.summary.Packets, "archives", s.summary.Archives, "bytes", s.summary.ArchiveBytes)
 		_ = sc.SendClosed(s.summary)
 	case end == ReasonDrain:
 		d.metrics.SessionsDrained.Add(1)
 		sum := s.summary
 		sum.Drained = true
-		d.cfg.Logf("server: session %d drained: %d packets flushed", s.id, sum.Packets)
+		d.log.Info("server: session drained", "session", s.id, "tenant", s.tenant, "packets", sum.Packets)
 		if sc.SendClosed(sum) == nil {
 			// Linger until the client acknowledges the drain by hanging up
 			// (or sending close): returning immediately would close the conn
@@ -431,6 +453,6 @@ loop:
 		}
 	default: // client went away mid-stream; segments up to here are flushed
 		d.metrics.SessionsFailed.Add(1)
-		d.cfg.Logf("server: session %d disconnected after %d packets", s.id, total)
+		d.log.Warn("server: session disconnected", "session", s.id, "tenant", s.tenant, "packets", total)
 	}
 }

@@ -1,116 +1,107 @@
 package server
 
 import (
-	"fmt"
-	"net"
-	"net/http"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"bytes"
+
+	"flowzip/internal/core"
+	"flowzip/internal/obs"
 )
 
 // Metrics is the daemon's counter set, exported over HTTP in the Prometheus
-// text exposition format. Counters are plain atomics — the hot paths (one
-// batch, one segment) touch a handful of Add calls and never a lock; only the
-// per-tenant byte map takes a mutex, on the segment-write path.
+// text exposition format via an obs.Registry. Counters are plain atomics —
+// the hot paths (one batch, one segment) touch a handful of Add calls and
+// never a lock; only the per-tenant byte family takes a mutex, on the
+// segment-write path.
+//
+// The legacy flowzipd_* series are registered first, in their historical
+// order and with their historical help strings, so the rendered output for
+// those series is byte-for-byte what the hand-rolled renderer produced; the
+// newer histogram, pipeline and runtime series append after them.
 type Metrics struct {
-	SessionsActive    atomic.Int64 // gauge: sessions currently open
-	SessionsStarted   atomic.Int64 // sessions admitted
-	SessionsCompleted atomic.Int64 // sessions that closed cleanly
-	SessionsFailed    atomic.Int64 // sessions ended by a quota or pipeline failure
-	SessionsRejected  atomic.Int64 // opens refused (quota, bad options, bad handshake)
-	SessionsDrained   atomic.Int64 // sessions finalized early by graceful shutdown
+	SessionsActive    *obs.Gauge   // gauge: sessions currently open
+	SessionsStarted   *obs.Counter // sessions admitted
+	SessionsCompleted *obs.Counter // sessions that closed cleanly
+	SessionsFailed    *obs.Counter // sessions ended by a quota or pipeline failure
+	SessionsRejected  *obs.Counter // opens refused (quota, bad options, bad handshake)
+	SessionsDrained   *obs.Counter // sessions finalized early by graceful shutdown
 
-	Packets  atomic.Int64 // packets accepted into session pipelines
-	Batches  atomic.Int64 // packets frames accepted
-	Archives atomic.Int64 // archive segments written
-	Bytes    atomic.Int64 // encoded bytes across all segments
+	Packets  *obs.Counter // packets accepted into session pipelines
+	Batches  *obs.Counter // packet frames accepted
+	Archives *obs.Counter // archive segments written
+	Bytes    *obs.Counter // encoded bytes across all segments
 
-	RotationsSize atomic.Int64 // segments cut by Rotation.MaxPackets
-	RotationsAge  atomic.Int64 // segments cut by Rotation.MaxAge
+	RotationsSize *obs.Counter // segments cut by Rotation.MaxPackets
+	RotationsAge  *obs.Counter // segments cut by Rotation.MaxAge
 
 	// MergeMatchCalls aggregates core.ParallelStats.MergeMatchCalls across
 	// every finished segment — the same pipeline-efficiency signal the batch
 	// tools report, now visible for a long-lived daemon.
-	MergeMatchCalls atomic.Int64
+	MergeMatchCalls *obs.Counter
 
-	mu          sync.Mutex
-	tenantBytes map[string]int64 // encoded bytes per tenant
+	// TenantBytes is the per-tenant encoded-byte family, labeled by tenant
+	// name (escaped per the exposition format, so hostile tenant names
+	// cannot corrupt the scrape).
+	TenantBytes *obs.CounterVec
+
+	// BatchSeconds is the latency feeding one accepted batch into its
+	// session pipeline — including any backpressure stall, so a scrape
+	// shows when clients outrun the compressors.
+	BatchSeconds *obs.Histogram
+	// SegmentSeconds is the latency encoding and landing one rotated
+	// archive segment (encode + quota check + file writes).
+	SegmentSeconds *obs.Histogram
+
+	// Pipeline aggregates the per-session compression pipelines: every
+	// session's pipeline observes into this one set (the instruments are
+	// atomics, so concurrent sessions simply sum).
+	Pipeline *core.PipelineMetrics
+
+	reg *obs.Registry
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{tenantBytes: make(map[string]int64)}
+	reg := obs.NewRegistry()
+	m := &Metrics{reg: reg}
+	// Legacy series, in the exact historical order with the exact
+	// historical help strings: the registry renders in registration order,
+	// so this block reproduces the old /metrics output byte for byte.
+	m.SessionsActive = reg.Gauge("flowzipd_sessions_active", "Sessions currently open.")
+	m.SessionsStarted = reg.Counter("flowzipd_sessions_started_total", "Sessions admitted.")
+	m.SessionsCompleted = reg.Counter("flowzipd_sessions_completed_total", "Sessions closed cleanly by the client.")
+	m.SessionsFailed = reg.Counter("flowzipd_sessions_failed_total", "Sessions ended by a quota or pipeline failure.")
+	m.SessionsRejected = reg.Counter("flowzipd_sessions_rejected_total", "Session opens refused at admission.")
+	m.SessionsDrained = reg.Counter("flowzipd_sessions_drained_total", "Sessions finalized early by graceful shutdown.")
+	m.Packets = reg.Counter("flowzipd_packets_total", "Packets accepted into session pipelines.")
+	m.Batches = reg.Counter("flowzipd_batches_total", "Packet batches accepted.")
+	m.Archives = reg.Counter("flowzipd_archives_total", "Archive segments written.")
+	m.Bytes = reg.Counter("flowzipd_archive_bytes_total", "Encoded bytes across all archive segments.")
+	m.RotationsSize = reg.Counter("flowzipd_rotations_size_total", "Segments cut by the packet-count rotation bound.")
+	m.RotationsAge = reg.Counter("flowzipd_rotations_age_total", "Segments cut by the age rotation bound.")
+	m.MergeMatchCalls = reg.Counter("flowzipd_merge_match_calls_total", "Template-store Match calls during segment merges.")
+	m.TenantBytes = reg.CounterVec("flowzipd_tenant_archive_bytes_total", "Encoded bytes per tenant.", "tenant")
+
+	// New series append after the legacy block.
+	m.BatchSeconds = reg.Histogram("flowzipd_batch_seconds", "Latency feeding one accepted batch into its session pipeline, including backpressure stalls.", obs.DefaultLatencyBuckets)
+	m.SegmentSeconds = reg.Histogram("flowzipd_segment_seconds", "Latency encoding and writing one rotated archive segment.", obs.DefaultLatencyBuckets)
+	m.Pipeline = core.NewPipelineMetrics(reg, "flowzipd_pipeline")
+	obs.RegisterRuntimeMetrics(reg)
+	return m
 }
+
+// Registry exposes the daemon's metric registry — the same series /metrics
+// renders.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // addTenantBytes records n encoded bytes against a tenant's labeled series
 // (and the global Bytes counter).
 func (m *Metrics) addTenantBytes(tenant string, n int64) {
 	m.Bytes.Add(n)
-	m.mu.Lock()
-	m.tenantBytes[tenant] += n
-	m.mu.Unlock()
+	m.TenantBytes.Add(tenant, n)
 }
 
-// render builds the Prometheus text exposition (version 0.0.4): `# HELP` /
-// `# TYPE` headers followed by one sample per series, tenants as labels.
+// render builds the Prometheus text exposition (version 0.0.4).
 func (m *Metrics) render() []byte {
-	var b []byte
-	counter := func(name, help string, v int64) {
-		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)...)
-	}
-	gauge := func(name, help string, v int64) {
-		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)...)
-	}
-	gauge("flowzipd_sessions_active", "Sessions currently open.", m.SessionsActive.Load())
-	counter("flowzipd_sessions_started_total", "Sessions admitted.", m.SessionsStarted.Load())
-	counter("flowzipd_sessions_completed_total", "Sessions closed cleanly by the client.", m.SessionsCompleted.Load())
-	counter("flowzipd_sessions_failed_total", "Sessions ended by a quota or pipeline failure.", m.SessionsFailed.Load())
-	counter("flowzipd_sessions_rejected_total", "Session opens refused at admission.", m.SessionsRejected.Load())
-	counter("flowzipd_sessions_drained_total", "Sessions finalized early by graceful shutdown.", m.SessionsDrained.Load())
-	counter("flowzipd_packets_total", "Packets accepted into session pipelines.", m.Packets.Load())
-	counter("flowzipd_batches_total", "Packet batches accepted.", m.Batches.Load())
-	counter("flowzipd_archives_total", "Archive segments written.", m.Archives.Load())
-	counter("flowzipd_archive_bytes_total", "Encoded bytes across all archive segments.", m.Bytes.Load())
-	counter("flowzipd_rotations_size_total", "Segments cut by the packet-count rotation bound.", m.RotationsSize.Load())
-	counter("flowzipd_rotations_age_total", "Segments cut by the age rotation bound.", m.RotationsAge.Load())
-	counter("flowzipd_merge_match_calls_total", "Template-store Match calls during segment merges.", m.MergeMatchCalls.Load())
-
-	m.mu.Lock()
-	tenants := make([]string, 0, len(m.tenantBytes))
-	for t := range m.tenantBytes {
-		tenants = append(tenants, t)
-	}
-	sort.Strings(tenants)
-	b = append(b, "# HELP flowzipd_tenant_archive_bytes_total Encoded bytes per tenant.\n# TYPE flowzipd_tenant_archive_bytes_total counter\n"...)
-	for _, t := range tenants {
-		b = append(b, fmt.Sprintf("flowzipd_tenant_archive_bytes_total{tenant=%q} %d\n", t, m.tenantBytes[t])...)
-	}
-	m.mu.Unlock()
-	return b
-}
-
-// serveMetrics binds addr and serves the /metrics endpoint until stop is
-// called. It returns the bound address (useful for ephemeral ports) and a
-// stop function that closes the server and waits for it to exit.
-func serveMetrics(addr string, m *Metrics) (net.Addr, func(), error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("server: metrics listen %s: %w", addr, err)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		w.Write(m.render())
-	})
-	srv := &http.Server{Handler: mux}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		srv.Serve(ln)
-	}()
-	stop := func() {
-		srv.Close()
-		<-done
-	}
-	return ln.Addr(), stop, nil
+	var b bytes.Buffer
+	m.reg.Render(&b)
+	return b.Bytes()
 }

@@ -99,7 +99,13 @@ type session struct {
 // batch channel so the handler can never deadlock feeding a dead pipeline.
 func (d *Daemon) runSession(s *session) {
 	defer close(s.done)
-	if err := d.compressSegments(s); err != nil {
+	if d.tracer != nil {
+		d.tracer.NameThread(int64(s.id), fmt.Sprintf("session %d (%s)", s.id, s.tenant))
+	}
+	sp := d.tracer.Span(int64(s.id), "session").ArgStr("tenant", s.tenant)
+	err := d.compressSegments(s)
+	sp.ArgInt("packets", s.summary.Packets).ArgInt("archives", s.summary.Archives).End()
+	if err != nil {
 		s.pipeErr = err
 		close(s.failed)
 		for range s.batches {
@@ -131,11 +137,15 @@ func (d *Daemon) compressSegments(s *session) error {
 // writeSegment encodes one finished segment, enforces the tenant byte quota,
 // and lands the archive plus its sidecar in the tenant's directory.
 func (d *Daemon) writeSegment(s *session, seq int, arch *core.Archive) error {
+	start := time.Now()
+	wsp := d.tracer.Span(int64(s.id), "write-segment").ArgInt("seq", int64(seq))
+	esp := d.tracer.Span(int64(s.id), "encode")
 	var blob bytes.Buffer
 	if _, err := arch.Encode(&blob); err != nil {
 		return fmt.Errorf("server: encode segment: %w", err)
 	}
 	n := int64(blob.Len())
+	esp.ArgInt("bytes", n).End()
 
 	if q := d.cfg.Quotas.MaxArchiveBytes; q > 0 {
 		d.mu.Lock()
@@ -195,8 +205,10 @@ func (d *Daemon) writeSegment(s *session, seq int, arch *core.Archive) error {
 	case ReasonRotateAge:
 		d.metrics.RotationsAge.Add(1)
 	}
-	d.cfg.Logf("server: session %d segment %d: %d packets -> %s (%d bytes, %s)",
-		s.id, seq, s.src.segPackets, base, n, reason)
+	d.metrics.SegmentSeconds.Observe(time.Since(start).Seconds())
+	wsp.ArgInt("packets", s.src.segPackets).ArgInt("bytes", n).ArgStr("reason", reason).End()
+	d.log.Info("server: segment written", "session", s.id, "tenant", s.tenant,
+		"seq", seq, "packets", s.src.segPackets, "archive", base, "bytes", n, "reason", reason)
 	return nil
 }
 

@@ -565,6 +565,80 @@ func BenchmarkStoreMatch(b *testing.B) {
 	})
 }
 
+// BenchmarkDistanceWithin measures the early-exit distance kernel across
+// vector lengths spanning the scalar path (below one word), the cache-resident
+// sweet spot and streaming sizes. The candidate differs from the probe by one
+// element near the end, so the kernel walks essentially the whole vector —
+// the adversarial dense-bucket case the SWAR kernels exist for.
+func BenchmarkDistanceWithin(b *testing.B) {
+	for _, n := range []int{8, 64, 512, 4096} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			x := make(flow.Vector, n)
+			y := make(flow.Vector, n)
+			for i := range x {
+				x[i] = uint8(i*37 + 11)
+				y[i] = x[i]
+			}
+			y[n-1] ^= 0x55
+			lim := int(y[n-1]^x[n-1]) + 1 // strictly above the true distance
+			b.SetBytes(int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !flow.DistanceWithin(x, y, lim) {
+					b.Fatal("kernel rejected the in-limit pair")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreMatchBatch measures MatchBatch over the Web trace's real
+// short-flow vectors in finalize-order batches (the compressor's shape),
+// against a warm store so the walk-versus-memo mix matches steady state.
+// Reported per op: one whole batch.
+func BenchmarkStoreMatchBatch(b *testing.B) {
+	flows := flow.Assemble(sharedTrace().Packets)
+	vectors := make([]flow.Vector, 0, len(flows))
+	for _, f := range flows {
+		if f.Len() <= 50 {
+			vectors = append(vectors, f.Vector(flow.DefaultWeights))
+		}
+	}
+	if len(vectors) == 0 {
+		b.Fatal("no vectors")
+	}
+	const batch = 64
+	for _, memo := range []struct {
+		name string
+		on   bool
+	}{{"memo", true}, {"scan", false}} {
+		b.Run(memo.name, func(b *testing.B) {
+			b.ReportAllocs()
+			store := cluster.NewStore()
+			if memo.on {
+				store.EnableMemo()
+			}
+			for _, v := range vectors {
+				store.Match(v)
+			}
+			n := batch
+			if n > len(vectors) {
+				n = len(vectors)
+			}
+			tpls := make([]*cluster.Template, n)
+			created := make([]bool, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := i * n % len(vectors)
+				if start+n > len(vectors) {
+					start = 0
+				}
+				store.MatchBatch(vectors[start:start+n], tpls, created)
+			}
+		})
+	}
+}
+
 // BenchmarkWebGeneration measures the synthetic trace generator.
 func BenchmarkWebGeneration(b *testing.B) {
 	b.ReportAllocs()

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"flowzip/internal/flow"
+)
+
+// randomBurst builds a workload shaped like finalized short-flow traffic:
+// a few base shapes with small perturbations, so some vectors match, some
+// create, and exact duplicates exercise the memo.
+func randomBurst(rng *rand.Rand, count int) []flow.Vector {
+	bases := make([]flow.Vector, 1+rng.IntN(6))
+	for i := range bases {
+		n := 1 + rng.IntN(24)
+		bases[i] = make(flow.Vector, n)
+		for j := range bases[i] {
+			bases[i][j] = uint8(rng.UintN(200))
+		}
+	}
+	vs := make([]flow.Vector, count)
+	for i := range vs {
+		base := bases[rng.IntN(len(bases))]
+		v := append(flow.Vector(nil), base...)
+		for k := rng.IntN(3); k > 0; k-- {
+			v[rng.IntN(len(v))] = uint8(rng.UintN(256))
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// TestQuickMatchBatchEqualsSequential pins MatchBatch to its contract: the
+// batch resolves exactly as the same sequence of Match calls, template ids,
+// created flags, counters and stored vectors all identical — for memoized
+// and plain stores, across arbitrary batch boundaries.
+func TestQuickMatchBatchEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, memo := range []bool{false, true} {
+		for round := 0; round < 40; round++ {
+			vs := randomBurst(rng, 1+rng.IntN(200))
+			seq, bat := NewStore(), NewStore()
+			if memo {
+				seq.EnableMemo()
+				bat.EnableMemo()
+			}
+
+			wantT := make([]*Template, len(vs))
+			wantC := make([]bool, len(vs))
+			for i, v := range vs {
+				wantT[i], wantC[i] = seq.Match(v)
+			}
+
+			gotT := make([]*Template, len(vs))
+			gotC := make([]bool, len(vs))
+			for start := 0; start < len(vs); {
+				end := start + 1 + rng.IntN(32)
+				if end > len(vs) {
+					end = len(vs)
+				}
+				bat.MatchBatch(vs[start:end], gotT[start:end], gotC[start:end])
+				start = end
+			}
+
+			for i := range vs {
+				if gotT[i].ID != wantT[i].ID || gotC[i] != wantC[i] {
+					t.Fatalf("memo=%v round %d vec %d: batch (id=%d,created=%v), sequential (id=%d,created=%v)",
+						memo, round, i, gotT[i].ID, gotC[i], wantT[i].ID, wantC[i])
+				}
+			}
+			if s, b := seq.Stats(), bat.Stats(); s != b {
+				t.Fatalf("memo=%v round %d: stats diverge: %+v vs %+v", memo, round, s, b)
+			}
+			st, bt := seq.Templates(), bat.Templates()
+			if len(st) != len(bt) {
+				t.Fatalf("memo=%v round %d: %d vs %d templates", memo, round, len(st), len(bt))
+			}
+			for i := range st {
+				if !bytes.Equal(st[i].Vector, bt[i].Vector) || st[i].Members != bt[i].Members {
+					t.Fatalf("memo=%v round %d template %d diverges", memo, round, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPruneKeysWordMatchesScalar pins the word-at-a-time prune-key kernel to
+// the byte-loop reference across the boundary lengths (segments of a short
+// vector can be empty or sub-word).
+func TestPruneKeysWordMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for n := 0; n <= 80; n++ {
+		for round := 0; round < 50; round++ {
+			v := make(flow.Vector, n)
+			for j := range v {
+				v[j] = uint8(rng.UintN(256))
+			}
+			wsum, wsig := pruneKeys(v)
+			ssum, ssig := pruneKeysScalar(v)
+			if wsum != ssum || wsig != ssig {
+				t.Fatalf("pruneKeys(%v) = (%d,%#x), scalar (%d,%#x)", v, wsum, wsig, ssum, ssig)
+			}
+		}
+	}
+}
+
+// TestSharedStoreKeysPinned pins the Propose-time prune keys a SharedStore
+// serves through Keys to the per-vector path: for every global id — staged
+// or published — Keys(gid) must equal pruneKeys(Vector(gid)).
+func TestSharedStoreKeysPinned(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 21))
+	s := NewSharedStoreEpoch(8) // publish every 8: cover staged and published ids
+	for _, v := range randomBurst(rng, 100) {
+		s.Propose(v)
+	}
+	if s.Len() == 0 {
+		t.Fatal("no vectors interned")
+	}
+	for gid := int32(0); int(gid) < s.Len(); gid++ {
+		v, ok := s.Vector(gid)
+		if !ok {
+			t.Fatalf("Vector(%d) missing", gid)
+		}
+		sum, sig, ok := s.Keys(gid)
+		if !ok {
+			t.Fatalf("Keys(%d) missing", gid)
+		}
+		wsum, wsig := pruneKeys(v)
+		if sum != wsum || sig != wsig {
+			t.Fatalf("Keys(%d) = (%d,%#x), pruneKeys = (%d,%#x)", gid, sum, sig, wsum, wsig)
+		}
+	}
+	if _, _, ok := s.Keys(-1); ok {
+		t.Fatal("Keys(-1) must miss")
+	}
+	if _, _, ok := s.Keys(int32(s.Len())); ok {
+		t.Fatal("Keys past end must miss")
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 
 	"flowzip/internal/flow"
 )
@@ -17,76 +18,152 @@ import (
 //     lower-bounds the L1 metric, so a match candidate can be rejected in
 //     O(1) before its elements are ever touched.
 
-// hashVec is FNV-1a over the vector bytes. Vector lengths are not mixed in
-// separately: two vectors of different length virtually never collide, and
-// every probe verifies the full vector anyway.
+// hashVec mixes the vector bytes a word at a time with the FNV-1a constants
+// (whole little-endian words folded per step rather than single bytes — the
+// hash only keys in-memory indexes, so the exact byte-at-a-time FNV sequence
+// buys nothing over an 8x cheaper word variant). Vector lengths are not
+// mixed in separately: two vectors of different length virtually never
+// collide, and every probe verifies the full vector anyway.
 func hashVec(v flow.Vector) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	for _, b := range v {
-		h ^= uint64(b)
-		h *= prime
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		h = (h ^ binary.LittleEndian.Uint64(v[i:])) * prime
+	}
+	for ; i < len(v); i++ {
+		h = (h ^ uint64(v[i])) * prime
 	}
 	return h
 }
 
-// vecEntry is one interned vector and the id registered for it.
+// vecEntry is one interned vector and the id registered for it, plus the
+// cached vector hash so rehashing never re-reads the vectors.
 type vecEntry struct {
-	vec flow.Vector
-	id  int32
+	vec  flow.Vector
+	hash uint64
+	id   int32
 }
 
 // vecIndex maps exact vectors to int32 ids. Lookups hash the vector in place
 // and verify candidates byte-for-byte, so they are allocation-free — unlike a
-// map[string]T store whose writes must materialize string keys. The zero
-// value is a valid empty read-only index; call init (via newVecIndex) before
-// writing.
+// map[string]T store whose writes must materialize string keys. The index is
+// a flat open-addressed table rather than a runtime map: the memo probe runs
+// once per short flow, and linear probing over power-of-two slots keyed by
+// the cached hash is both cheaper per probe and free of map-bucket overhead.
+// The zero value is a valid empty read-only index; call init (via
+// newVecIndex) before writing.
 type vecIndex struct {
-	m map[uint64][]vecEntry
+	t *vecTab
+}
+
+type vecTab struct {
+	slots []vecEntry // vec == nil marks an empty slot
+	mask  uint64
+	n     int
 }
 
 // newVecIndex returns a writable index sized for about hint vectors.
 func newVecIndex(hint int) vecIndex {
-	return vecIndex{m: make(map[uint64][]vecEntry, hint)}
+	size := uint64(64)
+	for size*7 < uint64(hint)*8 {
+		size *= 2
+	}
+	return vecIndex{t: &vecTab{slots: make([]vecEntry, size), mask: size - 1}}
 }
 
 // get resolves v to its registered id. Probing a zero-value index is safe
 // and always misses.
 func (x vecIndex) get(v flow.Vector) (int32, bool) {
-	for _, e := range x.m[hashVec(v)] {
-		if bytes.Equal(e.vec, v) {
+	if x.t == nil {
+		return 0, false
+	}
+	h := hashVec(v)
+	for i := h & x.t.mask; ; i = (i + 1) & x.t.mask {
+		e := &x.t.slots[i]
+		if e.vec == nil {
+			return 0, false
+		}
+		if e.hash == h && bytes.Equal(e.vec, v) {
 			return e.id, true
 		}
 	}
-	return 0, false
 }
 
 // put registers id for v, overwriting any previous registration. The caller
 // must own v: the index retains the slice, so hot paths pass either a fresh
 // copy or an already-interned vector (e.g. a template's stored copy).
 func (x vecIndex) put(v flow.Vector, id int32) {
+	t := x.t
+	if uint64(t.n+1)*8 > (t.mask+1)*7 {
+		t.grow()
+	}
 	h := hashVec(v)
-	entries := x.m[h]
-	for i := range entries {
-		if bytes.Equal(entries[i].vec, v) {
-			entries[i].id = id
+	i := h & t.mask
+	for t.slots[i].vec != nil {
+		if t.slots[i].hash == h && bytes.Equal(t.slots[i].vec, v) {
+			t.slots[i].id = id
 			return
 		}
+		i = (i + 1) & t.mask
 	}
-	x.m[h] = append(entries, vecEntry{vec: v, id: id})
+	t.slots[i] = vecEntry{vec: v, hash: h, id: id}
+	t.n++
+}
+
+// grow doubles the slot array and reinserts every entry by its cached hash.
+func (t *vecTab) grow() {
+	old := t.slots
+	size := (t.mask + 1) * 2
+	t.slots = make([]vecEntry, size)
+	t.mask = size - 1
+	for _, e := range old {
+		if e.vec == nil {
+			continue
+		}
+		j := e.hash & t.mask
+		for t.slots[j].vec != nil {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = e
+	}
 }
 
 // enabled reports whether the index is writable (initialized).
-func (x vecIndex) enabled() bool { return x.m != nil }
+func (x vecIndex) enabled() bool { return x.t != nil }
 
 // pruneKeys computes both prune keys of the store's candidate walk — the
 // element sum and the packed signature — in one pass over the vector (the
 // signature's unclamped segment sums total exactly the element sum, so a
-// second walk would be pure waste on the per-flow hot path).
+// second walk would be pure waste on the per-flow hot path). Each segment
+// sum goes through the word kernel flow.Sum; segment boundaries are the
+// same s*n/8 cuts as the scalar reference, so the keys are bit-identical
+// to pruneKeysScalar (pinned by TestPruneKeysWordMatchesScalar). Keys are
+// computed once at arena-append time — Store.create and SharedStore.Propose
+// store them in parallel slices — and every later walk or merge resolve
+// reuses the stored values.
 func pruneKeys(v flow.Vector) (sum int, sig uint64) {
+	n := len(v)
+	if n == 0 {
+		return 0, 0
+	}
+	for s := 0; s < 8; s++ {
+		seg := flow.Sum(v[s*n/8 : (s+1)*n/8])
+		sum += seg
+		if seg > 255 {
+			seg = 255
+		}
+		sig |= uint64(seg) << (8 * s)
+	}
+	return sum, sig
+}
+
+// pruneKeysScalar is the byte-loop reference for pruneKeys, kept for the
+// parity test pinning the word-kernel path to the original definition.
+func pruneKeysScalar(v flow.Vector) (sum int, sig uint64) {
 	n := len(v)
 	if n == 0 {
 		return 0, 0

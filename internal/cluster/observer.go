@@ -8,8 +8,9 @@ import (
 
 // StoreObserver samples the store's match machinery: how often the O(1)
 // prune bounds reject a candidate before the distance computation runs,
-// and how often the exact-vector memo short-circuits a walk entirely.
-// These rates are the raw input for the adaptive-tuning roadmap item.
+// how often the exact-vector memo short-circuits a walk entirely, and how
+// the SoA arenas and the batch entry point are being used. These rates are
+// the raw input for the adaptive-tuning roadmap item.
 //
 // The observer is attached with Store.Observe. When no observer is
 // attached the store's hot path pays exactly one nil check: the observed
@@ -24,17 +25,29 @@ type StoreObserver struct {
 	MemoHits   atomic.Int64 // Match calls resolved by the exact-vector memo
 	Matches    atomic.Int64 // Match calls that reused a template
 	Creates    atomic.Int64 // templates created (Match misses and Inserts)
+	ArenaBytes atomic.Int64 // vector bytes held in bucket arenas (occupancy)
+	BatchCalls atomic.Int64 // MatchBatch invocations
+	BatchSize  atomic.Int64 // vectors submitted through MatchBatch (fan-in)
 }
 
 // Observe attaches o to the store (nil detaches) and returns the store.
+// Arena occupancy accumulated before the attach is folded into the
+// observer, so ArenaBytes always reflects the full arenas of every store
+// the observer is attached to.
 func (s *Store) Observe(o *StoreObserver) *Store {
+	if o != nil && s.obs != o {
+		o.ArenaBytes.Add(s.arenaBytes)
+	}
 	s.obs = o
 	return s
 }
 
 // findObserved is find with per-candidate sampling. It must mirror
 // find's first-fit semantics exactly — every pipeline mode is required
-// to stay byte-identical with observability on or off.
+// to stay byte-identical with observability on or off — so it walks the
+// arena slot by slot: batching runs here would prune-screen candidates
+// the sequential walk never reaches past a hit, skewing the reject
+// counters.
 func (s *Store) findObserved(v flow.Vector, lim, vsum int, vsig uint64) *Template {
 	o := s.obs
 	o.Lookups.Add(1)
@@ -45,7 +58,7 @@ func (s *Store) findObserved(v flow.Vector, lim, vsum int, vsig uint64) *Templat
 	if b == nil {
 		return nil
 	}
-	for i, t := range b.tpls {
+	for i := range b.tpls {
 		if ds := vsum - int(b.sums[i]); ds >= lim || -ds >= lim {
 			o.SumRejects.Add(1)
 			continue
@@ -55,8 +68,8 @@ func (s *Store) findObserved(v flow.Vector, lim, vsum int, vsig uint64) *Templat
 			continue
 		}
 		o.DistCalls.Add(1)
-		if flow.DistanceWithin(t.Vector, v, lim) {
-			return t
+		if flow.DistanceWithin(b.vecAt(i), v, lim) {
+			return b.tpls[i]
 		}
 	}
 	return nil

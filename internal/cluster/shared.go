@@ -41,7 +41,10 @@ type SharedStore struct {
 
 	mu     sync.Mutex
 	vecs   []flow.Vector // every interned vector, by global id; append-only
+	sums   []int32       // pruneKeys sums, parallel to vecs, fixed at Propose
+	sigs   []uint64      // pruneKeys signatures, parallel to vecs
 	all    vecIndex      // every interned vector -> global id (Propose dedup)
+	chunk  []byte        // arena tail the next interned vectors are copied into
 	staged int           // vectors interned since the last publish
 	epochs int
 }
@@ -62,6 +65,13 @@ const DefaultEpochStage = 64
 // maxSharedTemplates bounds the global id space to what an int32 template
 // reference can address (and to what fits an int on 32-bit platforms).
 const maxSharedTemplates = math.MaxInt32
+
+// sharedChunkSize is the allocation unit of the store's vector arena.
+// Interned vectors are copied back to back into fixed-size chunks instead of
+// one allocation each; a filled chunk is simply abandoned to the slices that
+// alias it (its bytes are immutable once written), so epochs published from
+// the arena stay valid forever without per-vector garbage.
+const sharedChunkSize = 64 << 10
 
 // NewSharedStore builds a store with the default epoch size.
 func NewSharedStore() *SharedStore { return NewSharedStoreEpoch(0) }
@@ -108,13 +118,33 @@ func (s *SharedStore) Propose(v flow.Vector) {
 	if len(s.vecs) >= maxSharedTemplates {
 		return // id space exhausted; further vectors stay shard-private
 	}
-	cp := append(flow.Vector(nil), v...)
+	cp := s.internLocked(v)
+	vsum, vsig := pruneKeys(cp)
 	s.all.put(cp, int32(len(s.vecs)))
 	s.vecs = append(s.vecs, cp)
+	s.sums = append(s.sums, int32(vsum))
+	s.sigs = append(s.sigs, vsig)
 	s.staged++
 	if s.staged >= s.stageLimitLocked(len(s.snap.Load().vecs)) {
 		s.publishLocked()
 	}
+}
+
+// internLocked copies v into the arena and returns the full-capacity slice
+// of its slot. Slots are never rewritten, so the returned slice — and every
+// epoch or index entry built from it — stays immutable even after the store
+// moves on to a fresh chunk.
+func (s *SharedStore) internLocked(v flow.Vector) flow.Vector {
+	if len(s.chunk)+len(v) > cap(s.chunk) {
+		size := sharedChunkSize
+		if len(v) > size {
+			size = len(v)
+		}
+		s.chunk = make([]byte, 0, size)
+	}
+	off := len(s.chunk)
+	s.chunk = append(s.chunk, v...)
+	return flow.Vector(s.chunk[off:len(s.chunk):len(s.chunk)])
 }
 
 // stageLimitLocked is the publish trigger: at least minStage, growing with
@@ -171,6 +201,22 @@ func (s *SharedStore) Vector(gid int32) (flow.Vector, bool) {
 		return s.vecs[gid], true
 	}
 	return nil, false
+}
+
+// Keys returns the prune keys pruneKeys(v) of the vector registered under
+// gid, computed once when the vector was proposed. The merge replay passes
+// them straight to Store.MatchPrecomputed instead of recomputing keys for
+// every shared-id resolve.
+func (s *SharedStore) Keys(gid int32) (sum int, sig uint64, ok bool) {
+	if gid < 0 {
+		return 0, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(gid) >= len(s.vecs) {
+		return 0, 0, false
+	}
+	return int(s.sums[gid]), s.sigs[gid], true
 }
 
 // Len returns the number of distinct vectors interned (published + staged).

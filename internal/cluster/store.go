@@ -18,33 +18,71 @@ type Template struct {
 // queries under the paper's L1 similarity with threshold d_lim(n).
 //
 // The paper's method only compares flows with identical packet counts, so
-// each length has an independent bucket. Within a bucket, candidates are
-// still visited in insertion order — first-fit semantics are what keep every
-// pipeline byte-identical — but each candidate is first screened against two
-// precomputed O(1) lower bounds on the L1 distance (the element sum and a
-// packed coarse signature, see index.go), and the full distance computation
-// aborts as soon as its partial sum reaches the limit (flow.DistanceWithin).
-// Neither prune can reject a true match: both bounds never exceed the real
-// distance, so exactly the first template the naive linear scan would accept
-// is accepted here.
+// each length has an independent bucket. Buckets are structure-of-arrays: all
+// vectors of one length live back to back in a single []byte arena, with the
+// precomputed prune keys (element sum and packed coarse signature, see
+// index.go) in parallel slices — so the candidate walk is a linear scan over
+// three cache-resident arrays instead of a pointer chase through per-template
+// allocations. Candidates are still visited in insertion order — first-fit
+// semantics are what keep every pipeline byte-identical — with each one first
+// screened against the two O(1) lower bounds; maximal runs of candidates that
+// survive both bounds are then handed to the wide first-fit kernel
+// (flow.DistanceWithinBatch), which computes early-exit distances straight
+// over the arena. Neither prune can reject a true match and the batch kernel
+// visits its run in arena order, so exactly the first template the naive
+// linear scan would accept is accepted here.
 type Store struct {
-	byLen     map[int]*bucket
-	templates []*Template
-	limit     func(n int) int
-	memo      vecIndex // exact-vector Match cache, zero-value unless enabled
-	matches   int64
-	misses    int64
-	obs       *StoreObserver // optional sampler, nil when observability is off
+	byLen      map[int]*bucket
+	templates  []*Template
+	limit      func(n int) int
+	memo       vecIndex // exact-vector Match cache, zero-value unless enabled
+	matches    int64
+	misses     int64
+	arenaBytes int64
+	obs        *StoreObserver // optional sampler, nil when observability is off
+
+	// limCache memoizes limit(n) for short lengths: the limit function is
+	// fixed per store and the default does float math per call, which showed
+	// up as measurable on the per-flow Match path. limUnset marks cold slots
+	// (0 is a valid limit).
+	limCache [limCacheLen]int32
 }
 
-// bucket holds one length class: templates in insertion order with their
-// precomputed element sums and coarse signatures in parallel slices, so the
-// pruning walk stays cache-friendly and never touches a rejected template's
-// vector.
+const (
+	limCacheLen = 64
+	limUnset    = int32(-1 << 31)
+)
+
+// limFor returns limit(n), served from the per-length cache when possible.
+func (s *Store) limFor(n int) int {
+	if n < limCacheLen {
+		if l := s.limCache[n]; l != limUnset {
+			return int(l)
+		}
+		l := s.limit(n)
+		s.limCache[n] = int32(l)
+		return l
+	}
+	return s.limit(n)
+}
+
+// bucket holds one length class as structure-of-arrays: slot i of the arena
+// (bytes [i*n, (i+1)*n)) is template tpls[i]'s vector, sums[i] and sigs[i]
+// its prune keys. The arena is append-only; a template's Vector is a
+// three-index slice of the arena backing taken at creation time, which stays
+// valid and immutable even after a later append relocates the arena (the
+// bytes of a published slot are never rewritten).
 type bucket struct {
-	tpls []*Template
-	sums []int32
-	sigs []uint64
+	n     int    // elements per vector in this bucket
+	arena []byte // len(tpls) vectors of n bytes, back to back
+	tpls  []*Template
+	sums  []int32
+	sigs  []uint64
+}
+
+// vecAt returns slot i of the bucket arena.
+func (b *bucket) vecAt(i int) flow.Vector {
+	return flow.Vector(b.arena[i*b.n : (i+1)*b.n])
 }
 
 // NewStore builds a store using the paper's threshold d_lim(n) = n.
@@ -55,7 +93,11 @@ func NewStore() *Store { return NewStoreLimit(flow.DistanceLimit) }
 // the L1 distance for a match ("difference ... lower than 2% of the maximum
 // inter flow distance").
 func NewStoreLimit(limit func(n int) int) *Store {
-	return &Store{byLen: make(map[int]*bucket), limit: limit}
+	s := &Store{byLen: make(map[int]*bucket), limit: limit}
+	for i := range s.limCache {
+		s.limCache[i] = limUnset
+	}
+	return s
 }
 
 // EnableMemo turns on the exact-duplicate match cache and returns the store.
@@ -80,7 +122,11 @@ func (s *Store) EnableMemo() *Store {
 // find is the pruned first-fit walk shared by Find, Match and Insert: it
 // returns the first template of v's bucket within lim, visiting candidates
 // in insertion order and rejecting them via the sum and signature lower
-// bounds before paying for an (early-exit) distance computation.
+// bounds before paying for an (early-exit) distance computation. Candidates
+// that survive both bounds are scanned in maximal contiguous runs by the
+// wide arena kernel; a run's first fit is the walk's first fit, because the
+// prune bounds never reject a true match and the kernel visits the run in
+// insertion order.
 func (s *Store) find(v flow.Vector, lim, vsum int, vsig uint64) *Template {
 	if s.obs != nil {
 		return s.findObserved(v, lim, vsum, vsig)
@@ -92,16 +138,32 @@ func (s *Store) find(v flow.Vector, lim, vsum int, vsig uint64) *Template {
 	if b == nil {
 		return nil
 	}
-	for i, t := range b.tpls {
+	n := len(v)
+	count := len(b.sums)
+	for i := 0; i < count; {
 		if ds := vsum - int(b.sums[i]); ds >= lim || -ds >= lim {
+			i++
 			continue
 		}
 		if sigDist(vsig, b.sigs[i]) >= lim {
+			i++
 			continue
 		}
-		if flow.DistanceWithin(t.Vector, v, lim) {
-			return t
+		// Extend the run of candidates that survive both bounds.
+		j := i + 1
+		for j < count {
+			if ds := vsum - int(b.sums[j]); ds >= lim || -ds >= lim {
+				break
+			}
+			if sigDist(vsig, b.sigs[j]) >= lim {
+				break
+			}
+			j++
 		}
+		if k := flow.DistanceWithinBatch(b.arena[i*n:j*n], j-i, v, lim); k >= 0 {
+			return b.tpls[i+k]
+		}
+		i = j
 	}
 	return nil
 }
@@ -123,7 +185,7 @@ func (s *Store) FindNearest(v flow.Vector) (*Template, int) {
 	}
 	vsum, vsig := pruneKeys(v)
 	best := b.tpls[0]
-	bestD := flow.Distance(best.Vector, v)
+	bestD := flow.Distance(b.vecAt(0), v)
 	for i := 1; i < len(b.tpls) && bestD > 0; i++ {
 		if ds := vsum - int(b.sums[i]); ds >= bestD || -ds >= bestD {
 			continue
@@ -131,7 +193,7 @@ func (s *Store) FindNearest(v flow.Vector) (*Template, int) {
 		if sigDist(vsig, b.sigs[i]) >= bestD {
 			continue
 		}
-		if d, ok := flow.DistanceUnder(b.tpls[i].Vector, v, bestD); ok {
+		if d, ok := flow.DistanceUnder(b.vecAt(i), v, bestD); ok {
 			best, bestD = b.tpls[i], d
 		}
 	}
@@ -140,25 +202,59 @@ func (s *Store) FindNearest(v flow.Vector) (*Template, int) {
 
 // Match implements the compressor's insert-or-reuse step: it returns the
 // matching template and created=false, or installs v as a new cluster center
-// and returns it with created=true.
+// and returns it with created=true. The prune keys are only computed after
+// the memo misses — on repeat-heavy traffic most Match calls resolve with
+// one hash probe and never touch them.
 func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
-	lim := s.limit(len(v))
-	if s.memo.enabled() {
-		// The distance recheck keeps a zero limit honest: a cached template
-		// created from an identical vector is at distance 0, which only
-		// counts as a match when the limit admits it.
-		if id, ok := s.memo.get(v); ok && flow.DistanceWithin(s.templates[id].Vector, v, lim) {
-			t := s.templates[id]
-			t.Members++
-			s.matches++
-			if s.obs != nil {
-				s.obs.MemoHits.Add(1)
-				s.obs.Matches.Add(1)
-			}
-			return t, false
-		}
+	lim := s.limFor(len(v))
+	if t := s.memoHit(v, lim); t != nil {
+		return t, false
 	}
 	vsum, vsig := pruneKeys(v)
+	return s.matchSlow(v, lim, vsum, vsig)
+}
+
+// MatchPrecomputed is Match for callers that already hold v's prune keys
+// (vsum, vsig) = pruneKeys(v) — the shard merge resolves shared global ids
+// whose keys were computed once at Propose time. Passing keys that do not
+// match pruneKeys(v) is a contract violation (the walk could then skip a
+// true first fit).
+func (s *Store) MatchPrecomputed(v flow.Vector, vsum int, vsig uint64) (t *Template, created bool) {
+	lim := s.limFor(len(v))
+	if t := s.memoHit(v, lim); t != nil {
+		return t, false
+	}
+	return s.matchSlow(v, lim, vsum, vsig)
+}
+
+// memoHit resolves v through the exact-duplicate cache, returning nil on a
+// miss (or when the memo is off). No distance recheck is needed on a hit:
+// the limit is fixed per store and buckets are append-only, so the entry's
+// registration already proved its template is within the limit of these
+// exact bytes — except under a non-positive limit, where Match must always
+// create (matching the scan, which admits nothing), so memoed entries from
+// the create path must not resolve.
+func (s *Store) memoHit(v flow.Vector, lim int) *Template {
+	if !s.memo.enabled() || lim <= 0 {
+		return nil
+	}
+	id, ok := s.memo.get(v)
+	if !ok {
+		return nil
+	}
+	t := s.templates[id]
+	t.Members++
+	s.matches++
+	if s.obs != nil {
+		s.obs.MemoHits.Add(1)
+		s.obs.Matches.Add(1)
+	}
+	return t
+}
+
+// matchSlow is the post-memo tail of Match: the pruned first-fit walk, then
+// template creation on a miss.
+func (s *Store) matchSlow(v flow.Vector, lim, vsum int, vsig uint64) (_ *Template, created bool) {
 	if t := s.find(v, lim, vsum, vsig); t != nil {
 		t.Members++
 		s.matches++
@@ -174,9 +270,9 @@ func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
 		}
 		return t, false
 	}
-	t = s.create(v, vsum, vsig)
+	t := s.create(v, vsum, vsig)
 	if s.memo.enabled() {
-		s.memo.put(t.Vector, int32(t.ID)) // the template's copy, no new alloc
+		s.memo.put(t.Vector, int32(t.ID)) // the template's arena slot, no new alloc
 	}
 	s.misses++
 	if s.obs != nil {
@@ -185,18 +281,50 @@ func (s *Store) Match(v flow.Vector) (t *Template, created bool) {
 	return t, true
 }
 
-// create installs v (copied) as a new template with precomputed prune keys.
-func (s *Store) create(v flow.Vector, vsum int, vsig uint64) *Template {
-	t := &Template{ID: len(s.templates), Vector: append(flow.Vector(nil), v...), Members: 1}
-	s.templates = append(s.templates, t)
-	b := s.byLen[len(v)]
-	if b == nil {
-		b = &bucket{}
-		s.byLen[len(v)] = b
+// MatchBatch resolves a batch of finalized vectors exactly as the same
+// sequence of Match calls would: tpls[i] and created[i] receive Match(vs[i])
+// in order, so templates created for earlier vectors are first-fit
+// candidates for later ones and all counters advance identically. Batching
+// amortizes the per-call setup and keeps one bucket's arrays hot across
+// consecutive same-length vectors — the common case, since traffic finalizes
+// bursts of similar flows. tpls and created must hold at least len(vs)
+// entries.
+func (s *Store) MatchBatch(vs []flow.Vector, tpls []*Template, created []bool) {
+	if s.obs != nil {
+		s.obs.BatchCalls.Add(1)
+		s.obs.BatchSize.Add(int64(len(vs)))
 	}
+	for i, v := range vs {
+		tpls[i], created[i] = s.Match(v)
+	}
+}
+
+// create installs v (copied into its bucket's arena) as a new template with
+// precomputed prune keys. The template's Vector aliases its arena slot via a
+// full-capacity slice; the slot's bytes are never rewritten, so the alias
+// stays valid even after later appends relocate the arena backing.
+func (s *Store) create(v flow.Vector, vsum int, vsig uint64) *Template {
+	n := len(v)
+	b := s.byLen[n]
+	if b == nil {
+		b = &bucket{n: n}
+		s.byLen[n] = b
+	}
+	off := len(b.arena)
+	b.arena = append(b.arena, v...)
+	t := &Template{
+		ID:      len(s.templates),
+		Vector:  flow.Vector(b.arena[off : off+n : off+n]),
+		Members: 1,
+	}
+	s.templates = append(s.templates, t)
 	b.tpls = append(b.tpls, t)
 	b.sums = append(b.sums, int32(vsum))
 	b.sigs = append(b.sigs, vsig)
+	s.arenaBytes += int64(n)
+	if s.obs != nil {
+		s.obs.ArenaBytes.Add(int64(n))
+	}
 	return t
 }
 
@@ -250,6 +378,9 @@ func (s *Store) Len() int { return len(s.templates) }
 
 // Templates returns all templates in creation order.
 func (s *Store) Templates() []*Template { return s.templates }
+
+// ArenaBytes returns the total vector bytes held in bucket arenas.
+func (s *Store) ArenaBytes() int64 { return s.arenaBytes }
 
 // HitRate returns the fraction of flows that reused a template: Match hits
 // over all Match and Insert traffic (an Insert always creates, so it counts

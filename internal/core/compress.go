@@ -22,11 +22,73 @@ type Compressor struct {
 	store   *cluster.Store
 	long    []LongTemplate
 	addrs   []pkt.IPv4
-	addrIdx map[pkt.IPv4]uint32
+	addrIdx addrTab
 	timeSeq []TimeSeqRecord
 	stats   CompressStats
 	packets int64
-	vbuf    flow.Vector // reusable characterization scratch (finalizeFlow)
+	vbuf    flow.Vector  // reusable characterization scratch (finalizeFlow)
+	mb      matchBatcher // pending short-flow vectors awaiting MatchBatch
+}
+
+// matchBatchSize is how many short-flow vectors a pipeline accumulates
+// before resolving them in one Store.MatchBatch call. The value only trades
+// latency-to-resolution against per-call amortization; results are
+// independent of it (MatchBatch is defined as the equivalent sequence of
+// Match calls).
+const matchBatchSize = 64
+
+// matchBatcher defers short-flow template matching so vectors resolve in
+// batches through Store.MatchBatch instead of one call per finalized flow.
+// Pending vectors are copied back to back into an owned arena — the
+// finalize scratch they arrive in is recycled per flow — together with the
+// caller's record index to backfill once the batch resolves. Deferral is
+// invisible in the output: the store is only ever mutated by these Match
+// calls, flushing preserves their order, and record indices are stable
+// (records append before their match resolves).
+type matchBatcher struct {
+	arena   []byte // pending vector bytes, back to back
+	ends    []int  // end offset of each pending vector in arena
+	idxs    []int  // caller record index per pending vector
+	vs      []flow.Vector
+	tpls    []*cluster.Template
+	created []bool
+}
+
+// add stages one vector (copied) tagged with the caller's record index.
+func (b *matchBatcher) add(v flow.Vector, idx int) {
+	b.arena = append(b.arena, v...)
+	b.ends = append(b.ends, len(b.arena))
+	b.idxs = append(b.idxs, idx)
+}
+
+// full reports whether the batch reached matchBatchSize.
+func (b *matchBatcher) full() bool { return len(b.idxs) >= matchBatchSize }
+
+// flush resolves every pending vector through one MatchBatch call and hands
+// each result, in staging order, to emit along with its record index.
+func (b *matchBatcher) flush(s *cluster.Store, emit func(idx int, t *cluster.Template, created bool)) {
+	n := len(b.idxs)
+	if n == 0 {
+		return
+	}
+	b.vs = b.vs[:0]
+	start := 0
+	for _, end := range b.ends {
+		b.vs = append(b.vs, flow.Vector(b.arena[start:end]))
+		start = end
+	}
+	if cap(b.tpls) < n {
+		b.tpls = make([]*cluster.Template, n)
+		b.created = make([]bool, n)
+	}
+	tpls, created := b.tpls[:n], b.created[:n]
+	s.MatchBatch(b.vs, tpls, created)
+	for i := 0; i < n; i++ {
+		emit(b.idxs[i], tpls[i], created[i])
+	}
+	b.arena = b.arena[:0]
+	b.ends = b.ends[:0]
+	b.idxs = b.idxs[:0]
 }
 
 // CompressStats counts compressor activity for reporting.
@@ -49,11 +111,10 @@ func NewCompressor(opts Options) (*Compressor, error) {
 	// plain store), so the serial pipeline — the byte-identity baseline of
 	// every other mode — gets the exact-duplicate fast path too.
 	c := &Compressor{
-		opts:    opts,
-		store:   cluster.NewStoreLimit(opts.limit()).EnableMemo(),
-		addrIdx: make(map[pkt.IPv4]uint32),
+		opts:  opts,
+		store: cluster.NewStoreLimit(opts.limit()).EnableMemo(),
 	}
-	c.table = flow.NewTable(c.finalizeFlow)
+	c.table = flow.AcquireTable(c.finalizeFlow)
 	return c, nil
 }
 
@@ -77,45 +138,138 @@ func (c *Compressor) finalizeFlow(f *flow.Flow) {
 		Addr:    c.addrIndex(f.ServerIP),
 	}
 	if f.Len() <= c.opts.ShortMax {
-		// Short flow: search for an identical-or-similar template.
-		tpl, created := c.store.Match(v)
+		// Short flow: search for an identical-or-similar template. The
+		// search is deferred — the vector is staged for the next MatchBatch
+		// and the record's Template backfilled when it resolves — which
+		// changes nothing but the call timing: the store is only mutated by
+		// these matches, and the batch replays them in finalize order.
+		rec.RTT = f.EstimateRTT()
+		c.stats.ShortFlows++
+		c.timeSeq = append(c.timeSeq, rec)
+		c.mb.add(v, len(c.timeSeq)-1)
+		if c.mb.full() {
+			c.flushMatches()
+		}
+		c.table.Recycle(f)
+		return
+	}
+	// Long flow: always a fresh template with measured gaps.
+	rec.Long = true
+	rec.Template = uint32(len(c.long))
+	c.long = append(c.long, LongTemplate{
+		F:    append(flow.Vector(nil), v...),
+		Gaps: f.InterPacketTimes(),
+	})
+	c.stats.LongFlows++
+	c.timeSeq = append(c.timeSeq, rec)
+	c.table.Recycle(f)
+}
+
+// flushMatches resolves the staged short-flow vectors and backfills their
+// time-seq records and the short-flow counters.
+func (c *Compressor) flushMatches() {
+	c.mb.flush(c.store, func(idx int, t *cluster.Template, created bool) {
+		c.timeSeq[idx].Template = uint32(t.ID)
 		if created {
 			c.stats.ShortTemplates++
 		} else {
 			c.stats.ShortMatched++
 		}
-		rec.Template = uint32(tpl.ID)
-		rec.RTT = f.EstimateRTT()
-		c.stats.ShortFlows++
-	} else {
-		// Long flow: always a fresh template with measured gaps.
-		rec.Long = true
-		rec.Template = uint32(len(c.long))
-		c.long = append(c.long, LongTemplate{
-			F:    append(flow.Vector(nil), v...),
-			Gaps: f.InterPacketTimes(),
-		})
-		c.stats.LongFlows++
-	}
-	c.timeSeq = append(c.timeSeq, rec)
-	c.table.Recycle(f)
+	})
 }
 
 func (c *Compressor) addrIndex(ip pkt.IPv4) uint32 {
-	if idx, ok := c.addrIdx[ip]; ok {
+	if idx, ok := c.addrIdx.get(ip); ok {
 		return idx
 	}
 	idx := uint32(len(c.addrs))
 	c.addrs = append(c.addrs, ip)
-	c.addrIdx[ip] = idx
+	c.addrIdx.put(ip, idx)
 	c.stats.Addresses++
 	return idx
+}
+
+// addrTab interns server addresses to dense indices: a flat open-addressed
+// table over packed (ip, index) words. One probe per finalized flow made the
+// generic map the costlier choice. Slot encoding is ip<<32 | index+1, so the
+// zero word doubles as the empty marker even for address 0.0.0.0. The zero
+// value is ready to use.
+type addrTab struct {
+	slots []uint64
+	mask  uint64
+	n     int
+}
+
+func (t *addrTab) get(ip pkt.IPv4) (uint32, bool) {
+	if t.slots == nil {
+		return 0, false
+	}
+	h := addrHash(ip)
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		if uint32(s>>32) == uint32(ip) {
+			return uint32(s) - 1, true
+		}
+	}
+}
+
+func (t *addrTab) put(ip pkt.IPv4, idx uint32) {
+	if uint64(t.n+1)*8 > (t.mask+1)*7 || t.slots == nil {
+		t.grow()
+	}
+	i := addrHash(ip) & t.mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = uint64(ip)<<32 | uint64(idx) + 1
+	t.n++
+}
+
+func (t *addrTab) grow() {
+	old := t.slots
+	size := uint64(256)
+	if t.slots != nil {
+		size = (t.mask + 1) * 2
+	}
+	t.slots = make([]uint64, size)
+	t.mask = size - 1
+	for _, s := range old {
+		if s == 0 {
+			continue
+		}
+		j := addrHash(pkt.IPv4(s>>32)) & t.mask
+		for t.slots[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = s
+	}
+}
+
+// addrHash spreads an IPv4 address over the table (splitmix64 finalizer).
+func addrHash(ip pkt.IPv4) uint64 {
+	x := uint64(ip)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Finish flushes open flows and assembles the archive. The compressor must
 // not be used afterwards.
 func (c *Compressor) Finish() *Archive {
+	closed := len(c.timeSeq) // records from here on are flush-emitted
 	c.table.Flush()
+	c.flushMatches()
+	// Every finalized flow was recycled (finalizeFlow unconditionally hands
+	// the flow back), so nothing the archive holds aliases table storage and
+	// the table can recirculate to the next compressor.
+	c.table.Release()
+	c.table = nil
 	c.stats.Packets = c.packets
 
 	// The short-template store returns templates in creation order, so the
@@ -124,10 +278,7 @@ func (c *Compressor) Finish() *Archive {
 	for i, t := range c.store.Templates() {
 		shorts[i] = t.Vector
 	}
-	// Finish consumes the compressor, so the time-seq dataset is sorted in
-	// place instead of being copied first.
-	recs := c.timeSeq
-	slices.SortStableFunc(recs, func(a, b TimeSeqRecord) int { return cmp.Compare(a.FirstTS, b.FirstTS) })
+	recs := mergeTimeSeq(c.timeSeq, closed)
 
 	return &Archive{
 		ShortTemplates: shorts,
@@ -140,8 +291,105 @@ func (c *Compressor) Finish() *Archive {
 	}
 }
 
-// Stats returns the counters accumulated so far.
-func (c *Compressor) Stats() CompressStats { return c.stats }
+// mergeTimeSeq produces the FirstTS-sorted time-seq dataset exactly as a
+// stable sort of the whole slice would, exploiting that recs[closed:] — the
+// records emitted by the end-of-trace flush — is already sorted: the flush
+// finalizes flows by (first timestamp, hash), so the suffix is FirstTS-sorted
+// with equal keys in their original relative order. Only the prefix of
+// FIN/RST-closed flows pays for a sort; the stable two-way merge with
+// prefix-wins-ties then reproduces the whole-slice stable sort exactly
+// (every prefix record precedes every suffix record in the original order).
+// Traces leave most flows open, so this removes the bulk of the final sort.
+func mergeTimeSeq(recs []TimeSeqRecord, closed int) []TimeSeqRecord {
+	sortTimeSeqPrefix(recs[:closed])
+	if closed == 0 || closed == len(recs) {
+		return recs
+	}
+	// Merge in place: only the (small) prefix moves to scratch; the write
+	// position k never catches up with the unread suffix position j, since
+	// k = i + (j - closed) < j exactly while prefix records remain.
+	prefix := append(make([]TimeSeqRecord, 0, closed), recs[:closed]...)
+	i, j, k := 0, closed, 0
+	for i < closed && j < len(recs) {
+		if prefix[i].FirstTS <= recs[j].FirstTS {
+			recs[k] = prefix[i]
+			i++
+		} else {
+			recs[k] = recs[j]
+			j++
+		}
+		k++
+	}
+	copy(recs[k:], prefix[i:])
+	copy(recs[k+(closed-i):], recs[j:])
+	return recs
+}
+
+// sortTimeSeqPrefix stably sorts records by FirstTS. Small slices use the
+// stdlib stable sort; larger ones hoist (sortable key, original index) pairs
+// and LSD-radix them — counting passes are stable, so equal timestamps keep
+// their original relative order, exactly as SortStableFunc leaves them — then
+// apply the permutation with cycle-following. A comparison sort here moves
+// 32-byte records O(n log n) times; the radix moves 16-byte pairs in eight
+// (usually fewer — constant bytes skip) linear passes and each record once.
+func sortTimeSeqPrefix(recs []TimeSeqRecord) {
+	if len(recs) < 128 {
+		slices.SortStableFunc(recs, func(a, b TimeSeqRecord) int { return cmp.Compare(a.FirstTS, b.FirstTS) })
+		return
+	}
+	type pair struct {
+		key uint64 // FirstTS, sign-flipped so unsigned byte order matches int64 order
+		idx int32
+	}
+	src := make([]pair, len(recs))
+	for i := range recs {
+		src[i] = pair{uint64(recs[i].FirstTS) ^ (1 << 63), int32(i)}
+	}
+	dst := make([]pair, len(recs))
+	for shift := 0; shift < 64; shift += 8 {
+		var cnt [257]int
+		for i := range src {
+			cnt[int(byte(src[i].key>>shift))+1]++
+		}
+		if cnt[int(byte(src[0].key>>shift))+1] == len(src) {
+			continue // every key shares this byte: the pass is the identity
+		}
+		for i := 1; i < 256; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := range src {
+			b := src[i].key >> shift & 0xff
+			dst[cnt[b]] = src[i]
+			cnt[b]++
+		}
+		src, dst = dst, src
+	}
+	// src[pos].idx is the original position of the record ranked pos; apply
+	// in place by following cycles, marking applied slots with idx -1.
+	for i := range src {
+		if src[i].idx < 0 {
+			continue
+		}
+		tmp, j := recs[i], i
+		for {
+			k := int(src[j].idx)
+			src[j].idx = -1
+			if k == i {
+				recs[j] = tmp
+				break
+			}
+			recs[j] = recs[k]
+			j = k
+		}
+	}
+}
+
+// Stats returns the counters accumulated so far, resolving any still-staged
+// short-flow matches first so the template counters are exact.
+func (c *Compressor) Stats() CompressStats {
+	c.flushMatches()
+	return c.stats
+}
 
 // notSortedError is shared by the serial and parallel entry points so both
 // reject unsorted input identically.
@@ -149,16 +397,22 @@ func notSortedError(tr *trace.Trace) error {
 	return fmt.Errorf("core: trace %q is not timestamp sorted", tr.Name)
 }
 
-// Compress runs the whole pipeline over a trace.
+// Compress runs the whole pipeline over a trace. Sortedness is validated
+// inline while feeding packets — the packets are already being streamed
+// through, so a separate IsSorted pre-pass would only re-touch every record.
 func Compress(tr *trace.Trace, opts Options) (*Archive, error) {
-	if !tr.IsSorted() {
-		return nil, notSortedError(tr)
-	}
 	c, err := NewCompressor(opts)
 	if err != nil {
 		return nil, err
 	}
+	// Whole-trace compression knows the packet count up front; seeding the
+	// time sequence with a flows-per-packets guess skips most of the append
+	// doubling (a wrong guess only means ordinary growth resumes).
+	c.timeSeq = make([]TimeSeqRecord, 0, tr.Len()/4+16)
 	for i := range tr.Packets {
+		if i > 0 && tr.Packets[i].Timestamp < tr.Packets[i-1].Timestamp {
+			return nil, notSortedError(tr)
+		}
 		c.Add(&tr.Packets[i])
 	}
 	return c.Finish(), nil

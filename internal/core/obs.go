@@ -64,6 +64,9 @@ func NewPipelineMetrics(reg *obs.Registry, prefix string) *PipelineMetrics {
 	sampled("_store_memo_hits_total", "Store Match calls resolved by the exact-vector memo.", &m.Store.MemoHits)
 	sampled("_store_matches_total", "Store Match calls that reused a template.", &m.Store.Matches)
 	sampled("_store_creates_total", "Templates created across the run's stores.", &m.Store.Creates)
+	sampled("_store_batch_calls_total", "MatchBatch invocations across the run's stores.", &m.Store.BatchCalls)
+	sampled("_store_batch_size_total", "Vectors submitted through MatchBatch (fan-in; divide by batch calls for mean batch width).", &m.Store.BatchSize)
+	reg.GaugeFunc(prefix+"_store_arena_bytes", "Vector bytes held in SoA bucket arenas across the observed stores (occupancy).", func() float64 { return float64(m.Store.ArenaBytes.Load()) })
 	return m
 }
 

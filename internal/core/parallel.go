@@ -123,8 +123,9 @@ type shardCompressor struct {
 	st     *shardState
 	table  *flow.Table
 	shared *cluster.SharedStore
-	cur    int64       // global index of the packet being added
-	vbuf   flow.Vector // reusable characterization scratch
+	cur    int64        // global index of the packet being added
+	vbuf   flow.Vector  // reusable characterization scratch
+	mb     matchBatcher // pending overflow vectors awaiting MatchBatch
 }
 
 func newShardCompressor(opts Options, sid uint16, shared *cluster.SharedStore) *shardCompressor {
@@ -132,7 +133,7 @@ func newShardCompressor(opts Options, sid uint16, shared *cluster.SharedStore) *
 		st:     &shardState{store: cluster.NewStoreLimit(exactLimit).EnableMemo()},
 		shared: shared,
 	}
-	c.table = flow.NewTable(func(f *flow.Flow) {
+	c.table = flow.AcquireTable(func(f *flow.Flow) {
 		sf := ShardFlow{
 			CloseIdx: c.cur,
 			FirstTS:  f.FirstTimestamp(),
@@ -151,11 +152,20 @@ func newShardCompressor(opts Options, sid uint16, shared *cluster.SharedStore) *
 				sf.Shared = true
 				sf.Template = gid
 			} else {
-				t, created := c.st.store.Match(v)
-				sf.Template = int32(t.ID)
-				if created && c.shared != nil {
-					c.shared.Propose(v)
+				// Snapshot miss: stage the vector for the next MatchBatch
+				// against the private overflow store and backfill Template
+				// when the batch resolves. Deferring the match (and the
+				// Propose of created vectors) only shifts when work happens:
+				// the overflow store is mutated exclusively by these matches
+				// in finalize order, and shared-store publication timing
+				// never affects archive bytes (see SharedStore).
+				c.st.flows = append(c.st.flows, sf)
+				c.mb.add(v, len(c.st.flows)-1)
+				if c.mb.full() {
+					c.flushMatches()
 				}
+				c.table.Recycle(f)
+				return
 			}
 		} else {
 			sf.Long = true
@@ -166,6 +176,18 @@ func newShardCompressor(opts Options, sid uint16, shared *cluster.SharedStore) *
 		c.table.Recycle(f)
 	})
 	return c
+}
+
+// flushMatches resolves the staged overflow vectors against the private
+// store, backfills their ShardFlow template ids and proposes freshly created
+// vectors to the shared store.
+func (c *shardCompressor) flushMatches() {
+	c.mb.flush(c.st.store, func(idx int, t *cluster.Template, created bool) {
+		c.st.flows[idx].Template = int32(t.ID)
+		if created && c.shared != nil {
+			c.shared.Propose(t.Vector)
+		}
+	})
 }
 
 // sharedLookup consults the shared snapshot, when one is attached, and
@@ -194,6 +216,11 @@ func (c *shardCompressor) add(globalIdx int64, p *pkt.Packet) {
 func (c *shardCompressor) finish() *shardState {
 	c.cur = flushMark
 	c.table.Flush()
+	c.flushMatches()
+	// All emitted flows were recycled (LongF/Gaps are copies), so the table
+	// holds nothing the shard state references and can go back to the pool.
+	c.table.Release()
+	c.table = nil
 	return c.st
 }
 

@@ -382,49 +382,23 @@ func sectionEnd(offs []int64, i int, sectionLen int64) int64 {
 	return sectionLen
 }
 
-// loadShort loads short template id into the cache. Callers hold r.mu.
-func (r *Reader) loadShort(id int) error {
-	if r.shortLoaded[id] {
-		if r.metrics != nil {
-			r.metrics.TemplateCacheHits.Inc()
-		}
-		return nil
-	}
-	off := r.idx.shortOffs[id]
-	end := sectionEnd(r.idx.shortOffs, id, r.idx.sections.ShortTemplates)
-	b, err := r.readAt(r.shortOff+off, end-off)
-	if err != nil {
-		return err
-	}
+// parseShort installs the encoded short template id from its section bytes.
+func (r *Reader) parseShort(id int, b []byte) error {
 	n, sz := binary.Uvarint(b)
 	if sz <= 0 || uint64(len(b)-sz) != n {
 		return fmt.Errorf("%w: short template %d spans %d bytes for %d values", ErrBadIndex, id, len(b), n)
 	}
 	r.arch.ShortTemplates[id] = flow.Vector(b[sz:])
 	r.shortLoaded[id] = true
-	r.bodyBytes += int64(len(b))
 	r.tplRead++
 	if r.metrics != nil {
 		r.metrics.TemplatesLoaded.Inc()
-		r.metrics.BodyBytesRead.Add(int64(len(b)))
 	}
 	return nil
 }
 
-// loadLong loads long template id into the cache. Callers hold r.mu.
-func (r *Reader) loadLong(id int) error {
-	if r.longLoaded[id] {
-		if r.metrics != nil {
-			r.metrics.TemplateCacheHits.Inc()
-		}
-		return nil
-	}
-	off := r.idx.longOffs[id]
-	end := sectionEnd(r.idx.longOffs, id, r.idx.sections.LongTemplates)
-	b, err := r.readAt(r.longOff+off, end-off)
-	if err != nil {
-		return err
-	}
+// parseLong installs the encoded long template id from its section bytes.
+func (r *Reader) parseLong(id int, b []byte) error {
 	ir := &indexReader{b: b}
 	n, err := ir.count("long template length", maxCount)
 	if err != nil {
@@ -448,11 +422,61 @@ func (r *Reader) loadLong(id int) error {
 	}
 	r.arch.LongTemplates[id] = LongTemplate{F: f, Gaps: gaps}
 	r.longLoaded[id] = true
-	r.bodyBytes += int64(len(b))
 	r.tplRead++
 	if r.metrics != nil {
 		r.metrics.TemplatesLoaded.Inc()
-		r.metrics.BodyBytesRead.Add(int64(len(b)))
+	}
+	return nil
+}
+
+// loadTemplateRuns fetches the listed missing template ids, coalescing
+// consecutive ids into one range read each: templates are laid out
+// back-to-back in id order, so a run of adjacent ids is one contiguous span
+// of the section and every template in it parses out of the shared buffer.
+// ids may repeat and arrive unsorted; duplicates count as cache hits (they
+// would have hit the cache under per-record loading too). Callers hold r.mu.
+func (r *Reader) loadTemplateRuns(ids []int, offs []int64, base, sectionLen int64, parse func(id int, b []byte) error) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Ints(ids)
+	for i := 0; i < len(ids); {
+		lo := ids[i]
+		hi := lo
+		for i++; i < len(ids); i++ {
+			if ids[i] == hi {
+				// Duplicate reference within the batch: a cache hit under
+				// per-record loading, counted the same way here.
+				if r.metrics != nil {
+					r.metrics.TemplateCacheHits.Inc()
+				}
+				continue
+			}
+			if ids[i] == hi+1 {
+				hi++
+				continue
+			}
+			break
+		}
+		off := offs[lo]
+		end := sectionEnd(offs, hi, sectionLen)
+		b, err := r.readAt(base+off, end-off)
+		if err != nil {
+			return err
+		}
+		r.bodyBytes += int64(len(b))
+		if r.metrics != nil {
+			r.metrics.BodyBytesRead.Add(int64(len(b)))
+		}
+		for id := lo; id <= hi; id++ {
+			s, e := offs[id]-off, sectionEnd(offs, id, sectionLen)-off
+			if s < 0 || e < s || e > int64(len(b)) {
+				return fmt.Errorf("%w: template %d spans [%d,%d) of %d-byte run", ErrBadIndex, id, s, e, len(b))
+			}
+			if err := parse(id, b[s:e]); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -502,10 +526,28 @@ func (r *Reader) selectGroups(f FlowFilter) []int {
 	return ids
 }
 
+// stagedRec is a filter-matched time-seq record awaiting its cursor: cursor
+// creation dereferences the record's template, so records stage here until
+// the group's missing templates have been batch-loaded.
+type stagedRec struct {
+	rec    TimeSeqRecord
+	recIdx int
+	id     flowIdentity
+}
+
 // decodeGroup parses flow group g and appends cursors for the records
 // matching f. rng must be positioned at the group's first record; pos is
-// maintained by the caller. Callers hold r.mu.
+// maintained by the caller. Matched records stage until the end of the group,
+// when every template the group needs and does not have loads in one
+// coalesced pass (see loadTemplateRuns) — the staging changes only I/O
+// shape, not order: cursors append in record order either way. Callers hold
+// r.mu.
 func (r *Reader) decodeGroup(d *Decompressor, g int, f FlowFilter, rng *stats.RNG, cursors []*flowCursor) ([]*flowCursor, error) {
+	var (
+		matched   []stagedRec
+		needShort []int
+		needLong  []int
+	)
 	gi := r.idx.groups[g]
 	end := int64(r.idx.sections.TimeSeq)
 	if g+1 < len(r.idx.groups) {
@@ -555,15 +597,27 @@ func (r *Reader) decodeGroup(d *Decompressor, g int, f FlowFilter, rng *stats.RN
 		// keep the RNG stream aligned with the serial decode.
 		id := drawIdentity(rng)
 		if f.matchTime(rec.FirstTS) && f.matchAddr(r.addrs[rec.Addr]) {
+			// Stage the record; templates load in one coalesced pass below,
+			// before any cursor dereferences them.
+			tpl := int(rec.Template)
 			if rec.Long {
-				err = r.loadLong(int(rec.Template))
+				if r.longLoaded[tpl] {
+					if r.metrics != nil {
+						r.metrics.TemplateCacheHits.Inc()
+					}
+				} else {
+					needLong = append(needLong, tpl)
+				}
 			} else {
-				err = r.loadShort(int(rec.Template))
+				if r.shortLoaded[tpl] {
+					if r.metrics != nil {
+						r.metrics.TemplateCacheHits.Inc()
+					}
+				} else {
+					needShort = append(needShort, tpl)
+				}
 			}
-			if err != nil {
-				return nil, err
-			}
-			cursors = append(cursors, d.newCursor(&rec, gi.startRec+j, id))
+			matched = append(matched, stagedRec{rec: rec, recIdx: gi.startRec + j, id: id})
 		}
 	}
 	if len(ir.b) != 0 {
@@ -571,6 +625,16 @@ func (r *Reader) decodeGroup(d *Decompressor, g int, f FlowFilter, rng *stats.RN
 	}
 	if prev != time.Duration(gi.lastUS)*time.Microsecond {
 		return nil, fmt.Errorf("%w: group %d ends at %v, index says %v", ErrBadIndex, g, prev, time.Duration(gi.lastUS)*time.Microsecond)
+	}
+	if err := r.loadTemplateRuns(needShort, r.idx.shortOffs, r.shortOff, r.idx.sections.ShortTemplates, r.parseShort); err != nil {
+		return nil, err
+	}
+	if err := r.loadTemplateRuns(needLong, r.idx.longOffs, r.longOff, r.idx.sections.LongTemplates, r.parseLong); err != nil {
+		return nil, err
+	}
+	for i := range matched {
+		m := &matched[i]
+		cursors = append(cursors, d.newCursor(&m.rec, m.recIdx, m.id))
 	}
 	return cursors, nil
 }

@@ -313,7 +313,11 @@ func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow
 				if !ok {
 					return nil, fmt.Errorf("core: shared template %d is not registered", sf.Template)
 				}
-				t, _ = store.Match(v)
+				// The shared store fixed the vector's prune keys at Propose
+				// time, so the one Match this id ever pays skips recomputing
+				// them.
+				vsum, vsig, _ := shared.Keys(sf.Template)
+				t, _ = store.MatchPrecomputed(v, vsum, vsig)
 				resolved[sf.Template] = t
 			} else {
 				t.Members++ // keep Members equal to the serial replay's
@@ -334,7 +338,15 @@ func replayMerge(packets int64, opts Options, flows [][]ShardFlow, tpls [][]flow
 	for i, t := range store.Templates() {
 		shorts[i] = t.Vector
 	}
-	slices.SortStableFunc(recs, func(a, b TimeSeqRecord) int { return cmp.Compare(a.FirstTS, b.FirstTS) })
+	// merged puts every flush-emitted flow (CloseIdx == flushMark) after
+	// every closed one, ordered by (FirstTS, Hash) — so the tail of recs is
+	// already FirstTS-sorted and mergeTimeSeq only sorts the closed prefix,
+	// exactly like Compressor.Finish.
+	closed := len(merged)
+	for closed > 0 && merged[closed-1].CloseIdx == flushMark {
+		closed--
+	}
+	recs = mergeTimeSeq(recs, closed)
 
 	if stats != nil {
 		st := store.Stats()

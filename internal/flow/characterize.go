@@ -65,14 +65,18 @@ func FlagClass(p *pkt.Packet) int {
 
 // SizeClass computes P3 for a payload length.
 func SizeClass(payload int) int {
-	switch {
-	case payload <= 0:
-		return SizeClassEmpty
-	case payload <= SmallPayloadMax:
-		return SizeClassSmall
-	default:
-		return SizeClassLarge
+	// The classes are consecutive (Empty, Small, Large), so the two threshold
+	// tests sum directly — conditional increments the compiler lowers to
+	// SETcc+ADD. Payload sizes are bimodal (empty acks vs full segments), so
+	// a branchy switch here is mispredicted constantly on the per-packet path.
+	c := SizeClassEmpty
+	if payload > 0 {
+		c++
 	}
+	if payload > SmallPayloadMax {
+		c++
+	}
+	return c
 }
 
 // F computes the characterization integer for explicit parameter values.
@@ -115,73 +119,9 @@ func (w Weights) Decompose(f int) (flagClass, depClass, sizeClass int) {
 }
 
 // Vector is the per-flow F_f vector of packet characterization values.
+// The distance kernels over vectors (Distance, DistanceWithin, DistanceUnder,
+// DistanceWithinBatch, Sum) live in kernel.go.
 type Vector []uint8
-
-// Distance is the L1 distance between two vectors of equal length; the
-// similarity metric of the compressor. Vectors of different length are
-// incomparable (the paper only compares flows with the same packet count)
-// and Distance panics in that case.
-func Distance(a, b Vector) int {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("flow: Distance over different lengths %d vs %d", len(a), len(b)))
-	}
-	d := 0
-	for i := range a {
-		if a[i] > b[i] {
-			d += int(a[i] - b[i])
-		} else {
-			d += int(b[i] - a[i])
-		}
-	}
-	return d
-}
-
-// Sum returns the sum of the vector's elements. |Sum(a)-Sum(b)| is a lower
-// bound on Distance(a, b) (triangle inequality applied per element), which
-// the cluster store uses to reject match candidates without touching their
-// elements.
-func Sum(v Vector) int {
-	s := 0
-	for _, x := range v {
-		s += int(x)
-	}
-	return s
-}
-
-// DistanceWithin reports whether Distance(a, b) < lim without always paying
-// for the full element walk: the partial sum is monotonically non-decreasing,
-// so the loop aborts as soon as it reaches lim. Like Distance it panics on
-// length mismatch; lim <= 0 is never satisfiable (distances are >= 0).
-func DistanceWithin(a, b Vector, lim int) bool {
-	_, ok := DistanceUnder(a, b, lim)
-	return ok
-}
-
-// DistanceUnder is the early-exit distance kernel behind DistanceWithin and
-// the store's pruned nearest-neighbour walk: it returns (Distance(a, b),
-// true) when the distance is strictly below cap, and (partial, false) as soon
-// as the running sum proves it is not — the partial value is only a lower
-// bound then. Panics on length mismatch, mirroring Distance.
-func DistanceUnder(a, b Vector, cap int) (int, bool) {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("flow: DistanceUnder over different lengths %d vs %d", len(a), len(b)))
-	}
-	if cap <= 0 {
-		return 0, false
-	}
-	d := 0
-	for i := range a {
-		if a[i] > b[i] {
-			d += int(a[i] - b[i])
-		} else {
-			d += int(b[i] - a[i])
-		}
-		if d >= cap {
-			return d, false
-		}
-	}
-	return d, true
-}
 
 // DistanceLimit computes d_lim for an n-packet flow (paper eq. 4):
 // 2% of the maximum inter-flow distance n·MaxDistance.

@@ -1,0 +1,147 @@
+package flow
+
+import "flowzip/internal/pkt"
+
+// flowTab is the open-addressing hash table behind Table.active: canonical
+// 5-tuple keys to open flows, linear probing over a power-of-two slot array,
+// backward-shift deletion instead of tombstones. The runtime map it replaces
+// was the single hottest structure of packet assembly — every packet probes
+// it, every opened flow inserts and every FIN/RST deletes — and a flat
+// specialized table beats it on all three: a probe touches one 32-byte slot
+// (key, cached hash and flow pointer together, so a miss costs one cache
+// line, not one per parallel array), inserts never allocate outside the
+// doubling rehash, and deletes compact their probe window instead of leaving
+// tombstones that would slow every later scan.
+type flowTab struct {
+	slots []flowSlot
+	mask  uint64 // len(slots)-1; len is a power of two
+	n     int
+}
+
+// flowSlot is one table slot; fl == nil marks it empty. The struct packs to
+// 32 bytes, so slots never straddle more than one cache-line boundary.
+type flowSlot struct {
+	key  pkt.FlowKey
+	hash uint64 // probeHash(key), cached for rehash and deletion shifts
+	fl   *Flow
+}
+
+// flowTabMinSlots is the initial table size: like the map it replaces, the
+// table starts big enough for the thousands of concurrent conversations a
+// real trace holds, skipping the first doubling rehashes.
+const flowTabMinSlots = 4096
+
+// probeHash mixes a canonical key into a probe position. This is
+// deliberately not pkt.FlowKey.Hash: that hash is recorded on every flow and
+// feeds the flush tie-break ordering, so it is part of the output format and
+// must not change — while the probe hash is free to be a cheap two-multiply
+// finalizer (splitmix64) instead of thirteen rounds of byte-at-a-time FNV.
+func probeHash(k pkt.FlowKey) uint64 {
+	x := uint64(k.LoIP)<<32 | uint64(k.HiIP)
+	x ^= uint64(k.LoPort)<<24 | uint64(k.HiPort)<<8 | uint64(k.Proto)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func newFlowTab() flowTab {
+	return flowTab{slots: make([]flowSlot, flowTabMinSlots), mask: flowTabMinSlots - 1}
+}
+
+// get returns the flow stored under key and its slot index, or (nil, 0).
+// h must be probeHash(key). The index is only meaningful on a hit, and only
+// until the next mutation — callers using it as a cache must re-validate
+// against the slot's key.
+func (t *flowTab) get(h uint64, key pkt.FlowKey) (*Flow, uint64) {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.fl == nil {
+			return nil, 0
+		}
+		if s.key == key {
+			return s.fl, i
+		}
+	}
+}
+
+// put inserts fl under a key not currently present and returns its slot
+// index. h must be probeHash(key).
+func (t *flowTab) put(h uint64, key pkt.FlowKey, fl *Flow) uint64 {
+	// Grow at 7/8 load: linear probe runs stay short and the array stays a
+	// small constant factor over the live flow count.
+	if uint64(t.n+1)*8 > (t.mask+1)*7 {
+		t.grow()
+	}
+	i := h & t.mask
+	for t.slots[i].fl != nil {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = flowSlot{key: key, hash: h, fl: fl}
+	t.n++
+	return i
+}
+
+// del removes key's entry, compacting the probe window behind it
+// (backward-shift deletion): every entry displaced past the hole that could
+// legally live closer to its home slot moves back, so lookups never need
+// tombstones. h must be probeHash(key); deleting an absent key is a no-op.
+func (t *flowTab) del(h uint64, key pkt.FlowKey) {
+	mask := t.mask
+	i := h & mask
+	for {
+		if t.slots[i].fl == nil {
+			return
+		}
+		if t.slots[i].key == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		// Find the next entry allowed to fill the hole at i: one whose home
+		// slot is not inside the cyclic window (i, j] — moving it to i keeps
+		// it reachable from its home by the same linear probe.
+		for {
+			j = (j + 1) & mask
+			if t.slots[j].fl == nil {
+				t.slots[i] = flowSlot{}
+				t.n--
+				return
+			}
+			if (j-t.slots[j].hash)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		t.slots[i] = t.slots[j]
+		i = j
+	}
+}
+
+// grow doubles the table and reinserts every live entry.
+func (t *flowTab) grow() {
+	old := t.slots
+	slots := (t.mask + 1) * 2
+	t.slots = make([]flowSlot, slots)
+	t.mask = slots - 1
+	for _, s := range old {
+		if s.fl == nil {
+			continue
+		}
+		j := s.hash & t.mask
+		for t.slots[j].fl != nil {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = s
+	}
+}
+
+// drain empties the table in O(slots) without per-entry deletion shifts —
+// the end-of-trace flush removes everything at once.
+func (t *flowTab) drain() {
+	clear(t.slots)
+	t.n = 0
+}

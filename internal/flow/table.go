@@ -3,6 +3,7 @@ package flow
 import (
 	"cmp"
 	"slices"
+	"sync"
 	"time"
 
 	"flowzip/internal/pkt"
@@ -40,6 +41,14 @@ type Flow struct {
 	Closed bool
 
 	finLo, finHi bool // FIN seen from the Lo / Hi endpoint
+
+	// lastFromLo mirrors Packets[len-1].FromLo so the per-packet dependence
+	// check never reloads the tail of the packet array.
+	lastFromLo bool
+
+	// probeH caches probeHash(Key) from insertion, sparing finalize the
+	// recompute when it deletes the flow from the table.
+	probeH uint64
 }
 
 // Len returns the packet count n.
@@ -110,7 +119,17 @@ func (f *Flow) EstimateRTT() time.Duration {
 	if len(gaps) == 0 {
 		return 0
 	}
-	slices.Sort(gaps)
+	// Tiny inputs (at most ShortMax-1 gaps): a hand-rolled insertion sort
+	// skips the generic sort dispatch that showed up in the flow profile.
+	for i := 1; i < len(gaps); i++ {
+		g := gaps[i]
+		j := i - 1
+		for j >= 0 && gaps[j] > g {
+			gaps[j+1] = gaps[j]
+			j--
+		}
+		gaps[j+1] = g
+	}
 	return gaps[len(gaps)/2]
 }
 
@@ -118,14 +137,16 @@ func (f *Flow) EstimateRTT() time.Duration {
 // list of per-flow nodes keyed by the 5-tuple hash, each holding the list of
 // its packets; a FIN or RST finalizes the flow.
 type Table struct {
-	active    map[pkt.FlowKey]*Flow
+	active    flowTab
 	completed []*Flow
 	onDone    func(*Flow)
 
-	// last short-circuits the map lookup for packet bursts within one
+	// last short-circuits the table probe for packet bursts within one
 	// conversation — on real traffic consecutive packets very often belong
 	// to the same flow, and the canonical-key comparison is far cheaper
-	// than a map access.
+	// than a probe. A pointer (not a slot index): deletion shifts relocate
+	// slots, which would invalidate an index cache mid-burst, and the lost
+	// hits cost more than the pointer write's GC barrier.
 	last *Flow
 
 	// free holds flows handed back through Recycle: their Flow structs and
@@ -174,10 +195,41 @@ func (t *Table) newFlow() *Flow {
 // every finalized flow instead of accumulating them in memory — the
 // streaming path the compressor uses. Pass nil to collect flows for Flows().
 func NewTable(onDone func(*Flow)) *Table {
-	// Presizing the active map skips the first rounds of incremental growth
-	// (every grow rehashes all resident flows); real traces hold thousands
-	// of concurrent conversations, so 1024 buckets are never wasted.
-	return &Table{active: make(map[pkt.FlowKey]*Flow, 1024), onDone: onDone}
+	// The free list is presized: Recycle pushes every finalized flow, so on
+	// a streaming consumer it reaches the table's peak concurrency and
+	// append-doubling a pointer slice there is pure churn.
+	return &Table{active: newFlowTab(), onDone: onDone, free: make([]*Flow, 0, 1024)}
+}
+
+// tablePool recirculates drained Tables between compressor runs: the slot
+// array, free list and slabs of a released table are the dominant per-run
+// allocations of the whole pipeline, and every one of them is reusable as-is.
+var tablePool sync.Pool
+
+// AcquireTable returns a released table when one is pooled, else a fresh one.
+// Functionally identical to NewTable — a recycled table starts empty — but
+// its slabs and free list arrive warm.
+func AcquireTable(onDone func(*Flow)) *Table {
+	if v := tablePool.Get(); v != nil {
+		t := v.(*Table)
+		t.onDone = onDone
+		return t
+	}
+	return NewTable(onDone)
+}
+
+// Release drains the table and hands its storage to the pool. Only a caller
+// that retains nothing reachable from the table may release it: every flow it
+// emitted must have been handed back through Recycle (the streaming
+// compressors do exactly that), since the pooled free list and slabs will
+// back the flows of an unrelated future table. Collect-mode users (Flows()
+// consumers) must not call it.
+func (t *Table) Release() {
+	t.active.drain()
+	t.last = nil
+	t.completed = nil
+	t.onDone = nil
+	tablePool.Put(t)
 }
 
 // Recycle hands a finalized flow's storage back to the table for reuse. Only
@@ -196,28 +248,30 @@ func (t *Table) Add(p *pkt.Packet) {
 	// Canonicalize once: the key and the packet's direction relative to it
 	// share the same comparison, and recomputing them per use (Key, FromLo)
 	// dominated the assembly profile.
-	key := p.Key()
-	fromLo := p.SrcIP == key.LoIP && p.SrcPort == key.LoPort
+	key, fromLo := p.KeyDir()
 	fl := t.last
 	if fl == nil || fl.Key != key {
-		fl = t.active[key]
+		h := probeHash(key)
+		fl, _ = t.active.get(h, key)
 		if fl == nil {
 			fl = t.newFlow()
 			fl.Key = key
 			fl.Hash = key.Hash()
+			fl.probeH = h
 			fl.ClientIP = p.SrcIP
 			fl.ServerIP = p.DstIP
 			fl.ServerPort = p.DstPort
-			t.active[key] = fl
+			t.active.put(h, key, fl)
 		}
 		t.last = fl
 	}
 	dep := uint8(DepNotDependent)
-	if n := len(fl.Packets); n > 0 && fl.Packets[n-1].FromLo != fromLo {
+	if len(fl.Packets) > 0 && fl.lastFromLo != fromLo {
 		// Previous packet of the conversation came from the opposite
 		// endpoint: this packet waited on it (ack dependence).
 		dep = DepDependent
 	}
+	fl.lastFromLo = fromLo
 	fl.Packets = append(fl.Packets, PacketInfo{
 		Timestamp: p.Timestamp,
 		FromLo:    fromLo,
@@ -243,10 +297,14 @@ func (t *Table) Add(p *pkt.Packet) {
 }
 
 func (t *Table) finalize(key pkt.FlowKey, fl *Flow) {
-	delete(t.active, key)
+	t.active.del(fl.probeH, key)
 	if t.last == fl {
 		t.last = nil
 	}
+	t.emit(fl)
+}
+
+func (t *Table) emit(fl *Flow) {
 	if t.onDone != nil {
 		t.onDone(fl)
 		return
@@ -257,30 +315,116 @@ func (t *Table) finalize(key pkt.FlowKey, fl *Flow) {
 // Flush finalizes every still-active flow (end of trace).
 func (t *Table) Flush() {
 	// Deterministic order: by first packet timestamp, then hash. The sort
-	// key is hoisted out of the flows so the comparator never chases the
-	// Flow pointer (traces leave most flows open, making this sort large).
-	type flushEnt struct {
-		ts   time.Duration
-		hash uint64
-		fl   *Flow
+	// key is hoisted out of the flows so the sort never chases the Flow
+	// pointer (traces leave most flows open, making this sort large).
+	ents := make([]flushEnt, 0, t.active.n)
+	for i := range t.active.slots {
+		if fl := t.active.slots[i].fl; fl != nil {
+			ents = append(ents, flushEnt{fl.FirstTimestamp(), fl.Hash, fl})
+		}
 	}
-	ents := make([]flushEnt, 0, len(t.active))
-	for _, fl := range t.active {
-		ents = append(ents, flushEnt{fl.FirstTimestamp(), fl.Hash, fl})
+	sortFlushEnts(ents)
+	// The table is emptied wholesale — no reason to pay a per-flow
+	// deletion shift for every resident entry.
+	t.active.drain()
+	t.last = nil
+	for _, e := range ents {
+		t.emit(e.fl)
 	}
-	slices.SortFunc(ents, func(a, b flushEnt) int {
+}
+
+// flushEnt is the hoisted sort key of one flushed flow.
+type flushEnt struct {
+	ts   time.Duration
+	hash uint64
+	fl   *Flow
+}
+
+// sortFlushEnts orders ents by (ts, hash): for the big end-of-trace flush an
+// LSD radix sort — run over compact pointer-free (key, index) pairs so the
+// counting passes move 16-byte rows and never trip a GC write barrier —
+// skipping byte positions that never vary, which for sub-minute traces
+// leaves three or four counting passes. Equal-timestamp runs are then
+// ordered by hash (runs are rare and tiny: same first-packet timestamp),
+// and one final pass permutes the entries. Small flushes take a comparison
+// sort directly; either path yields exactly the (ts, hash) order, which is
+// part of the output format.
+func sortFlushEnts(ents []flushEnt) {
+	byTSHash := func(a, b flushEnt) int {
 		if c := cmp.Compare(a.ts, b.ts); c != 0 {
 			return c
 		}
 		return cmp.Compare(a.hash, b.hash)
-	})
-	for _, e := range ents {
-		t.finalize(e.fl.Key, e.fl)
+	}
+	if len(ents) < 128 {
+		slices.SortFunc(ents, byTSHash)
+		return
+	}
+	type tsIdx struct {
+		key uint64 // ts with the sign bit flipped: int64 order as unsigned
+		idx int32
+	}
+	pairs := make([]tsIdx, len(ents))
+	for i := range ents {
+		pairs[i] = tsIdx{key: uint64(ents[i].ts) ^ (1 << 63), idx: int32(i)}
+	}
+	buf := make([]tsIdx, len(pairs))
+	src, dst := pairs, buf
+	for shift := 0; shift < 64; shift += 8 {
+		var cnt [257]int
+		for i := range src {
+			cnt[int(byte(src[i].key>>shift))+1]++
+		}
+		if cnt[int(byte(src[0].key>>shift))+1] == len(src) {
+			continue // every element shares this byte; pass is the identity
+		}
+		for i := 1; i < len(cnt); i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := range src {
+			b := src[i].key >> shift & 0xFF
+			dst[cnt[b]] = src[i]
+			cnt[b]++
+		}
+		src, dst = dst, src
+	}
+	// Order equal-timestamp runs by hash (stable: a run keeps insertion
+	// order through the radix passes, so sorting it by hash alone gives the
+	// (ts, hash) order).
+	for i := 0; i < len(src); {
+		j := i + 1
+		for j < len(src) && src[j].key == src[i].key {
+			j++
+		}
+		if j-i > 1 {
+			slices.SortFunc(src[i:j], func(a, b tsIdx) int {
+				return cmp.Compare(ents[a.idx].hash, ents[b.idx].hash)
+			})
+		}
+		i = j
+	}
+	// Apply the permutation in place by following its cycles (idx == -1
+	// marks applied positions), sparing a second entry-sized buffer.
+	for i := range src {
+		if src[i].idx < 0 {
+			continue
+		}
+		tmp, j := ents[i], i
+		for {
+			k := int(src[j].idx)
+			src[j].idx = -1
+			if k == i {
+				ents[j] = tmp
+				break
+			}
+			ents[j] = ents[k]
+			j = k
+		}
 	}
 }
 
 // ActiveCount returns the number of open flows.
-func (t *Table) ActiveCount() int { return len(t.active) }
+func (t *Table) ActiveCount() int { return t.active.n }
 
 // Flows returns the finalized flows (only meaningful when onDone was nil).
 func (t *Table) Flows() []*Flow { return t.completed }

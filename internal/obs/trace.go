@@ -90,13 +90,18 @@ func (s Span) End() {
 	if s.t == nil {
 		return
 	}
-	now := time.Now()
+	// Truncate both endpoints to the µs grid and derive the duration from
+	// them, rather than truncating ts and dur independently: with separate
+	// truncations a nested span's ts+dur could exceed its enclosing span's
+	// by a microsecond, breaking time containment in the viewer.
+	ts := s.start.Sub(s.t.start).Microseconds()
+	end := time.Since(s.t.start).Microseconds()
 	ev := traceEvent{
 		name: s.name,
 		ph:   'X',
 		tid:  s.tid,
-		ts:   s.start.Sub(s.t.start).Microseconds(),
-		dur:  now.Sub(s.start).Microseconds(),
+		ts:   ts,
+		dur:  end - ts,
 		args: s.args,
 	}
 	s.t.mu.Lock()

@@ -141,12 +141,16 @@ type FlowKey struct {
 }
 
 // canonicalKey is the single source of the Lo/Hi ordering rule: the endpoint
-// with the smaller (IP, port) pair becomes the "Lo" side.
+// with the smaller (IP, port) pair becomes the "Lo" side. Each endpoint packs
+// into one uint64 (IP in the high bits, port below) so the lexicographic
+// (IP, port) comparison becomes a single integer min/max — branchless, which
+// matters because packet direction alternates and a compare-and-swap branch
+// here is mispredicted roughly half the time.
 func canonicalKey(srcIP, dstIP IPv4, srcPort, dstPort uint16, proto uint8) FlowKey {
-	if srcIP < dstIP || (srcIP == dstIP && srcPort <= dstPort) {
-		return FlowKey{srcIP, dstIP, srcPort, dstPort, proto}
-	}
-	return FlowKey{dstIP, srcIP, dstPort, srcPort, proto}
+	a := uint64(srcIP)<<16 | uint64(srcPort)
+	b := uint64(dstIP)<<16 | uint64(dstPort)
+	lo, hi := min(a, b), max(a, b)
+	return FlowKey{IPv4(lo >> 16), IPv4(hi >> 16), uint16(lo), uint16(hi), proto}
 }
 
 // Canonical builds the FlowKey for a tuple. The endpoint with the smaller
@@ -170,29 +174,39 @@ func (p *Packet) FromLo() bool {
 	return p.SrcIP == k.LoIP && p.SrcPort == k.LoPort
 }
 
+// KeyDir returns the canonical key together with the packet's direction
+// relative to it (FromLo), sharing one packed comparison for both — the flow
+// table needs the pair for every packet. The direction falls out of the same
+// ordering: the source is the Lo endpoint exactly when its packed (IP, port)
+// is <= the destination's.
+func (p *Packet) KeyDir() (FlowKey, bool) {
+	a := uint64(p.SrcIP)<<16 | uint64(p.SrcPort)
+	b := uint64(p.DstIP)<<16 | uint64(p.DstPort)
+	lo, hi := min(a, b), max(a, b)
+	return FlowKey{IPv4(lo >> 16), IPv4(hi >> 16), uint16(lo), uint16(hi), p.Proto}, a <= b
+}
+
 // Hash implements the paper's node key: a hash of the 5-tuple fields. FNV-1a
-// over the canonical key so both directions collide intentionally.
+// over the canonical key so both directions collide intentionally. The 13
+// bytes are mixed little-endian-first in a flat loop — the sequence (and so
+// the hash value, which feeds the flush tie-break ordering and hence the
+// output format) is pinned; only the closure-free form is a hot-path choice.
 func (k FlowKey) Hash() uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
+	bytes := [13]byte{
+		byte(k.LoIP), byte(k.LoIP >> 8), byte(k.LoIP >> 16), byte(k.LoIP >> 24),
+		byte(k.HiIP), byte(k.HiIP >> 8), byte(k.HiIP >> 16), byte(k.HiIP >> 24),
+		byte(k.LoPort), byte(k.LoPort >> 8),
+		byte(k.HiPort), byte(k.HiPort >> 8),
+		k.Proto,
+	}
 	h := uint64(offset)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime
+	for _, b := range bytes {
+		h = (h ^ uint64(b)) * prime
 	}
-	for i := 0; i < 4; i++ {
-		mix(byte(k.LoIP >> (8 * i)))
-	}
-	for i := 0; i < 4; i++ {
-		mix(byte(k.HiIP >> (8 * i)))
-	}
-	mix(byte(k.LoPort))
-	mix(byte(k.LoPort >> 8))
-	mix(byte(k.HiPort))
-	mix(byte(k.HiPort >> 8))
-	mix(k.Proto)
 	return h
 }
 

@@ -313,7 +313,8 @@ func runIngest(args []string) {
 	tenant := fs.String("tenant", "", "tenant the session's archives land under")
 	in := fs.String("i", "", "input trace (.tsh or .pcap)")
 	opts := codecFlags(fs)
-	buildNet := cli.NetFlags(fs, "daemon", "the daemon's ack of one batch", false)
+	buildNet := cli.NetFlags(fs, "daemon", "the daemon's cumulative ack", false)
+	window := cli.WindowFlag(fs, "the ingest stream")
 	fs.Parse(args)
 	if *connect == "" {
 		log.Fatal("ingest: -connect required")
@@ -328,6 +329,10 @@ func runIngest(args []string) {
 	if err := cli.ValidateNet(nc); err != nil {
 		log.Fatal("ingest: ", err)
 	}
+	if err := cli.ValidateWindow(*window); err != nil {
+		log.Fatal("ingest: ", err)
+	}
+	nc.Window = *window
 	src, err := trace.OpenStream(*in, 0)
 	if err != nil {
 		log.Fatal(err)

@@ -56,6 +56,7 @@ func main() {
 	maxArchiveBytes := fs.Int64("max-archive-bytes", 0, "cap on encoded archive bytes per tenant over the daemon's lifetime (0 = unlimited)")
 	rotPackets, rotAge := cli.RotationFlags(fs)
 	buildNet := cli.NetFlags(fs, "session", "the session's next packet batch", false)
+	window := cli.WindowFlag(fs, "each session")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for open sessions to finalize")
 	quiet := fs.Bool("q", false, "suppress per-session progress on stderr")
 	fs.Parse(os.Args[1:])
@@ -82,6 +83,10 @@ func main() {
 	if err := cli.ValidateNet(nc); err != nil {
 		log.Fatal(err)
 	}
+	if err := cli.ValidateWindow(*window); err != nil {
+		log.Fatal(err)
+	}
+	nc.Window = *window
 	if err := cli.ValidatePprof(*debug, *metrics); err != nil {
 		log.Fatal(err)
 	}

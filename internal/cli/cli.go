@@ -259,6 +259,31 @@ func ValidateNet(nc dist.NetConfig) error {
 	return nil
 }
 
+// windowTemplate is the single source of the -window help text: the session
+// endpoints (flowzipd, ingest) document the credit window identically.
+const windowTemplate = "credit window: batches %s keeps in flight before waiting for acks, in [1,%d]; 1 = stop-and-wait, 0 = the default (%d); the effective window is the smaller of the client's and the daemon's"
+
+// WindowFlag registers the canonical -window flag on fs. purpose names the
+// windowed peer ("each session", "the ingest stream", ...).
+func WindowFlag(fs *flag.FlagSet, purpose string) *int {
+	return fs.Int("window", 0,
+		fmt.Sprintf(windowTemplate, purpose, dist.MaxWindow, dist.DefaultWindow))
+}
+
+// ValidateWindow rejects credit windows outside [0, dist.MaxWindow] with the
+// error message every command prints identically. 0 means the default; the
+// library clamps oversized windows, but at the shell an oversized request is
+// a misconfiguration and is rejected rather than silently shrunk.
+func ValidateWindow(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-window %d must be >= 0 (0 = the default %d, 1 = stop-and-wait)", n, dist.DefaultWindow)
+	}
+	if n > dist.MaxWindow {
+		return fmt.Errorf("-window %d exceeds the %d-batch bound", n, dist.MaxWindow)
+	}
+	return nil
+}
+
 // RotationFlags registers the canonical daemon archive-rotation flags
 // (-rotate-packets, -rotate-age) on fs.
 func RotationFlags(fs *flag.FlagSet) (maxPackets *int64, maxAge *time.Duration) {

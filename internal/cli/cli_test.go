@@ -321,3 +321,42 @@ func TestStartProfilesRejectsBadPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWindowFlag pins the credit-window flag's canonical name, default and
+// generated help text: both bounds and the stop-and-wait special value must
+// be documented wherever the flag is registered.
+func TestWindowFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	w := WindowFlag(fs, "each session")
+	f := fs.Lookup("window")
+	if f == nil {
+		t.Fatal("WindowFlag did not register -window")
+	}
+	if *w != 0 {
+		t.Errorf("default window %d, want 0 (= library default)", *w)
+	}
+	for _, want := range []string{"each session", "stop-and-wait",
+		"1024", "32"} {
+		if !strings.Contains(f.Usage, want) {
+			t.Errorf("-window usage %q does not mention %q", f.Usage, want)
+		}
+	}
+}
+
+func TestValidateWindow(t *testing.T) {
+	if err := ValidateWindow(-1); err == nil {
+		t.Error("negative window accepted")
+	}
+	for _, n := range []int{0, 1, 32, dist.MaxWindow} {
+		if err := ValidateWindow(n); err != nil {
+			t.Errorf("window %d rejected: %v", n, err)
+		}
+	}
+	err := ValidateWindow(dist.MaxWindow + 1)
+	if err == nil {
+		t.Fatalf("window %d accepted despite the %d-batch bound", dist.MaxWindow+1, dist.MaxWindow)
+	}
+	if !strings.Contains(err.Error(), "batch bound") {
+		t.Errorf("oversized window error %q does not name the bound", err)
+	}
+}

@@ -231,13 +231,16 @@ func (c *Coordinator) requeue(shard int, cause error) {
 func (c *Coordinator) serveWorker(conn net.Conn) {
 	wlog := c.log.With("worker", conn.RemoteAddr().String())
 	br := bufio.NewReader(conn)
-	typ, payload, err := readFrame(conn, br, c.cfg.FrameTimeout, maxControlPayload)
+	typ, fp, err := readFrame(conn, br, c.cfg.FrameTimeout, maxControlPayload)
 	if err != nil || typ != frameHello {
+		fp.release()
 		wlog.Warn("dist: worker rejected: bad hello", "err", err)
 		return
 	}
-	s := &sectionReader{b: payload}
-	if v, err := s.uvarint(); err != nil || v != protoVersion {
+	s := &sectionReader{b: fp.b}
+	v, verr := s.uvarint()
+	fp.release()
+	if verr != nil || v != protoVersion {
 		wlog.Warn("dist: worker rejected: protocol version mismatch", "got", v, "want", protoVersion)
 		return
 	}
@@ -272,7 +275,7 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 			c.requeue(shard, err)
 			return
 		}
-		typ, payload, err := readFrame(conn, br, c.cfg.ResultTimeout, maxFramePayload)
+		typ, fp, err := readFrame(conn, br, c.cfg.ResultTimeout, maxFramePayload)
 		if err != nil {
 			wlog.Warn("dist: worker dropped; re-queueing shard", "shard", shard, "err", err)
 			c.requeue(shard, err)
@@ -280,7 +283,8 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 		}
 		switch typ {
 		case frameResult:
-			r, err := c.acceptResult(shard, payload)
+			r, err := c.acceptResult(shard, fp.b)
+			fp.release()
 			if err != nil {
 				wlog.Warn("dist: bad shard result", "shard", shard, "err", err)
 				// Tell the worker why before dropping it, so a
@@ -295,7 +299,8 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 			c.metrics.shardSeconds.Observe(time.Since(assigned).Seconds())
 			wlog.Info("dist: shard done", "shard", shard, "flows", len(r.Flows))
 		case frameFail:
-			idx, msg, _ := decodeFail(payload)
+			idx, msg, _ := decodeFail(fp.b)
+			fp.release()
 			err := fmt.Errorf("dist: worker %s failed shard %d: %s", conn.RemoteAddr(), idx, msg)
 			wlog.Warn("dist: worker failed shard", "shard", idx, "err", msg)
 			c.requeue(shard, err)
@@ -303,6 +308,7 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 			// the shard goes to a different worker.
 			return
 		default:
+			fp.release()
 			c.requeue(shard, fmt.Errorf("dist: unexpected %s frame", frameName(typ)))
 			return
 		}

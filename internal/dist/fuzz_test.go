@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -100,4 +101,56 @@ func TestDecodeFlowGapsBounded(t *testing.T) {
 	if !strings.Contains(err.Error(), "gaps exceed") {
 		t.Fatalf("err = %v — the pre-allocation guard did not fire", err)
 	}
+}
+
+// FuzzDecodeAck exercises the cumulative-ack frame decode — the answer every
+// pipelined client reads once per batch, so a corrupted or hostile daemon
+// must produce an error, never a panic or a count the int64 bookkeeping
+// cannot hold.
+func FuzzDecodeAck(f *testing.F) {
+	var w uvarintWriter
+	f.Add(append([]byte(nil), encodeAck(&w, 1, 64)...))
+	f.Add(append([]byte(nil), encodeAck(&w, 1<<40, 1<<62)...))
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                                                             // truncated varint
+	f.Add([]byte{0x01})                                                             // seq only, packets missing
+	f.Add([]byte{0x01, 0x02, 0x00})                                                 // trailing byte
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00}) // > MaxInt64
+	f.Fuzz(func(t *testing.T, b []byte) {
+		seq, packets, err := decodeAck(b)
+		if err != nil {
+			return
+		}
+		if seq > uint64(math.MaxInt64) || packets > uint64(math.MaxInt64) {
+			t.Fatalf("accepted ack beyond int64: seq %d, packets %d", seq, packets)
+		}
+		// Non-minimal varints decode too, so bytes need not round-trip —
+		// but the decoded values must survive a re-encode/decode cycle.
+		var w uvarintWriter
+		s2, p2, err := decodeAck(encodeAck(&w, seq, packets))
+		if err != nil || s2 != seq || p2 != packets {
+			t.Fatalf("ack value round-trip: (%d,%d) -> (%d,%d,%v)", seq, packets, s2, p2, err)
+		}
+	})
+}
+
+// FuzzDecodeOpenOK exercises the admission answer: any accepted payload must
+// carry a window already clamped into [1, MaxWindow].
+func FuzzDecodeOpenOK(f *testing.F) {
+	var w uvarintWriter
+	f.Add(append([]byte(nil), encodeOpenOK(&w, 1, DefaultWindow)...))
+	f.Add(append([]byte(nil), encodeOpenOK(&w, 1<<50, MaxWindow)...))
+	f.Add([]byte{})
+	f.Add([]byte{0x01})             // id only, window missing
+	f.Add([]byte{0x01, 0x00})       // window 0: hostile, must clamp to >= 1
+	f.Add([]byte{0x01, 0x01, 0x02}) // trailing byte
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, window, err := decodeOpenOK(b)
+		if err != nil {
+			return
+		}
+		if window < 1 || window > MaxWindow {
+			t.Fatalf("accepted openok with window %d outside [1,%d]", window, MaxWindow)
+		}
+	})
 }

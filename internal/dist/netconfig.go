@@ -21,6 +21,16 @@ const (
 	// the coordinator) may accumulate before the run is abandoned; the unit
 	// is re-queued after each failure but the last.
 	DefaultRetries = 3
+	// DefaultWindow is the ingestion credit window: how many packet batches
+	// a capture client may keep in flight (sent but unacked) per session.
+	// 32 batches hides tens of milliseconds of round-trip latency at
+	// typical batch sizes without letting a client run far ahead of the
+	// daemon's acks.
+	DefaultWindow = 32
+	// MaxWindow bounds the credit window: each in-flight batch is buffered
+	// daemon-side until the session pipeline draws it in, so the window is
+	// also a memory bound per session.
+	MaxWindow = 1024
 )
 
 // NetConfig is the shared connection-timing configuration of every framed-TCP
@@ -40,6 +50,14 @@ type NetConfig struct {
 	// unit, so Retries=1 aborts on the first failure (0 = DefaultRetries).
 	// Endpoints without re-queueable work (workers, the daemon) ignore it.
 	Retries int
+	// Window is the ingestion credit window, in batches: the daemon
+	// advertises its value in openok and buffers up to that many accepted
+	// batches per session; a capture client keeps up to the minimum of its
+	// own Window and the daemon's advertisement in flight before blocking
+	// on acks. 1 degenerates to stop-and-wait (one ack round trip per
+	// batch); 0 = DefaultWindow. The coordinator/worker exchange ignores
+	// it.
+	Window int
 }
 
 // fillDefaults resolves zero fields to the package defaults.
@@ -52,6 +70,12 @@ func (c *NetConfig) fillDefaults() {
 	}
 	if c.Retries <= 0 {
 		c.Retries = DefaultRetries
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Window > MaxWindow {
+		c.Window = MaxWindow
 	}
 }
 
@@ -67,6 +91,12 @@ func (c NetConfig) Validate() error {
 	}
 	if c.Retries < 0 {
 		return fmt.Errorf("dist: retries %d must be >= 0", c.Retries)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("dist: window %d must be >= 0", c.Window)
+	}
+	if c.Window > MaxWindow {
+		return fmt.Errorf("dist: window %d exceeds the %d-batch bound", c.Window, MaxWindow)
 	}
 	return nil
 }

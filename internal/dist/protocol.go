@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"sync"
 	"time"
 
 	"flowzip/internal/core"
@@ -40,19 +41,33 @@ import (
 //
 //	client → daemon:  hello   (uvarint protocol version)
 //	client → daemon:  open    (tenant string, then the serialized Options)
-//	daemon → client:  openok  (uvarint session id)
+//	daemon → client:  openok  (uvarint session id, uvarint credit window)
 //	client → daemon:  packets (uvarint count, then the packet records)
-//	daemon → client:  ack     (uvarint cumulative packets accepted) — sent
-//	                  only after the batch is queued into the session's
-//	                  pipeline, so a backpressured pipeline stalls the ack
-//	                  and TCP pushes the stall back to the capture point
+//	daemon → client:  ack     (uvarint batch seq, uvarint cumulative
+//	                  packets accepted) — sent only after the batch is
+//	                  queued into the session's pipeline; acks are
+//	                  cumulative, so ack(seq) covers every batch up to and
+//	                  including seq
 //	client → daemon:  close   (empty) — finish the stream cleanly
 //	daemon → client:  closed  (session summary) — also sent unsolicited
 //	                  when the daemon drains on shutdown, so a mid-stream
 //	                  client learns its session was finalized early
 //	daemon → client:  fail    (uvarint 0, error string) — quota exceeded,
 //	                  invalid open, or a pipeline failure
-const protoVersion = 1
+//
+// The data plane is pipelined: the daemon advertises a credit window in
+// openok, and a client may keep up to that many packets frames in flight
+// before it must block reading acks, so on a real link the throughput is
+// bounded by bandwidth and compression speed, not batch_size/RTT. A window
+// of 1 degenerates to the original stop-and-wait exchange. The durability
+// contract is unchanged either way: a batch is acked only once it is inside
+// the session's pipeline, so on disconnect or drain everything acked is
+// flushed into archives and only unacked batches are lost.
+//
+// Version 2 widened the openok and ack payloads for the credit window; both
+// ends of a session must speak the same version (the hello exchange rejects
+// a mismatch before any data flows).
+const protoVersion = 2
 
 const (
 	frameHello   = byte(1)
@@ -113,7 +128,9 @@ func frameName(t byte) string {
 	return fmt.Sprintf("frame %#x", t)
 }
 
-// writeFrame sends one frame under a write deadline.
+// writeFrame sends one frame under a write deadline. Header and payload go
+// out as one vectored write (net.Buffers → writev on TCP), so a frame costs
+// one syscall and the payload bytes are never copied into a joined buffer.
 func writeFrame(conn net.Conn, timeout time.Duration, typ byte, payload []byte) error {
 	if err := conn.SetWriteDeadline(deadline(timeout)); err != nil {
 		return err
@@ -121,18 +138,67 @@ func writeFrame(conn net.Conn, timeout time.Duration, typ byte, payload []byte) 
 	var hdr [1 + binary.MaxVarintLen64]byte
 	hdr[0] = typ
 	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
-	if _, err := conn.Write(hdr[:1+n]); err != nil {
-		return fmt.Errorf("dist: send %s: %w", frameName(typ), err)
+	if len(payload) == 0 {
+		if _, err := conn.Write(hdr[:1+n]); err != nil {
+			return fmt.Errorf("dist: send %s: %w", frameName(typ), err)
+		}
+		return nil
 	}
-	if _, err := conn.Write(payload); err != nil {
+	bufs := net.Buffers{hdr[:1+n], payload}
+	if _, err := bufs.WriteTo(conn); err != nil {
 		return fmt.Errorf("dist: send %s: %w", frameName(typ), err)
 	}
 	return nil
 }
 
+// maxPooledPayload caps the frame payload buffers the pool retains: packets
+// frames (the hot path) stay well under it, while a 1 GiB shard-result blob
+// is allocated fresh and released to the GC rather than pinned in the pool.
+const maxPooledPayload = 1 << 20
+
+// framePayload is a pooled frame payload. The bytes in b are owned by the
+// reader until release() is called; every readFrame caller decodes (copying
+// anything it keeps) and then releases, so one connection's frames reuse the
+// same buffer instead of allocating per frame.
+type framePayload struct {
+	b []byte
+}
+
+var framePool = sync.Pool{New: func() any { return new(framePayload) }}
+
+// acquirePayload draws a buffer of exactly size bytes, reusing pooled
+// backing storage when it is large enough.
+func acquirePayload(size uint64) *framePayload {
+	fp := framePool.Get().(*framePayload)
+	if uint64(cap(fp.b)) < size {
+		c := uint64(4096)
+		for c < size {
+			c <<= 1
+		}
+		fp.b = make([]byte, c)
+	}
+	fp.b = fp.b[:size]
+	return fp
+}
+
+// release returns the payload buffer to the pool. The caller must not touch
+// fp.b afterwards.
+func (fp *framePayload) release() {
+	if fp == nil {
+		return
+	}
+	if cap(fp.b) > maxPooledPayload {
+		fp.b = nil
+	}
+	framePool.Put(fp)
+}
+
 // readFrame receives one frame under a read deadline, rejecting payloads
-// over limit before allocating anything.
-func readFrame(conn net.Conn, br *bufio.Reader, timeout time.Duration, limit uint64) (byte, []byte, error) {
+// over limit before allocating anything. The returned payload is pooled:
+// the caller owns it until it calls release(), and must copy out anything
+// that outlives the release. On error no payload is returned and nothing
+// needs releasing.
+func readFrame(conn net.Conn, br *bufio.Reader, timeout time.Duration, limit uint64) (byte, *framePayload, error) {
 	if err := conn.SetReadDeadline(deadline(timeout)); err != nil {
 		return 0, nil, err
 	}
@@ -147,11 +213,12 @@ func readFrame(conn net.Conn, br *bufio.Reader, timeout time.Duration, limit uin
 	if size > limit {
 		return 0, nil, fmt.Errorf("dist: %s payload %d exceeds limit %d", frameName(typ), size, limit)
 	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(br, payload); err != nil {
+	fp := acquirePayload(size)
+	if _, err := io.ReadFull(br, fp.b); err != nil {
+		fp.release()
 		return 0, nil, fmt.Errorf("dist: %s payload: %w", frameName(typ), err)
 	}
-	return typ, payload, nil
+	return typ, fp, nil
 }
 
 // deadline converts a timeout to an absolute deadline; zero disables it.
@@ -309,19 +376,69 @@ func (w *uvarintWriter) appendPacket(p *pkt.Packet) {
 	w.uvarint(uint64(p.PayloadLen))
 }
 
-// encodePackets builds a packets payload from one source batch.
-func encodePackets(batch []pkt.Packet) []byte {
-	var w uvarintWriter
+// encodePacketsInto builds a packets payload from one source batch into w,
+// which the caller owns (a per-connection scratch writer on the hot path, so
+// encoding a batch allocates nothing once the buffer has grown).
+func encodePacketsInto(w *uvarintWriter, batch []pkt.Packet) {
+	w.buf.Reset()
 	w.uvarint(uint64(len(batch)))
 	for i := range batch {
 		w.appendPacket(&batch[i])
 	}
+}
+
+// encodePackets builds a packets payload from one source batch.
+func encodePackets(batch []pkt.Packet) []byte {
+	var w uvarintWriter
+	encodePacketsInto(&w, batch)
 	return w.buf.Bytes()
 }
 
-// decodePackets parses a packets payload into a freshly allocated batch (the
-// session pipeline consumes batches asynchronously, so the buffer cannot be
-// reused across frames).
+// maxPooledBatch caps the packet slabs the pool retains (64Ki packets, about
+// 4 MB); a decode larger than that allocates fresh and is left to the GC.
+const maxPooledBatch = 1 << 16
+
+// batchPool recycles the packet slabs decodePackets fills. The consumer of a
+// decoded batch (the daemon's session pipeline) owns the slab and hands it
+// back with ReleaseBatch once the segment it fed has consumed it.
+var batchPool = sync.Pool{New: func() any { return new([]pkt.Packet) }}
+
+// acquireBatch draws a packet slab of exactly n records, reusing pooled
+// backing storage when large enough. Every field of every record is
+// overwritten by the decode, so stale pool contents never leak.
+func acquireBatch(n int) []pkt.Packet {
+	p := batchPool.Get().(*[]pkt.Packet)
+	if cap(*p) < n {
+		c := 1024
+		for c < n {
+			c <<= 1
+		}
+		*p = make([]pkt.Packet, c)
+	}
+	batch := (*p)[:n]
+	*p = nil
+	batchPool.Put(p)
+	return batch
+}
+
+// ReleaseBatch recycles a batch returned by SessionConn.Next back into the
+// packet-slab pool. Call it exactly once, after the batch (and any subslice
+// of it) is no longer referenced — the ingestion daemon recycles each slab
+// when its segment has drawn in the following batch, per the PacketSource
+// contract that a returned slice is only valid until the next call.
+func ReleaseBatch(batch []pkt.Packet) {
+	if batch == nil || cap(batch) > maxPooledBatch {
+		return
+	}
+	p := batchPool.Get().(*[]pkt.Packet)
+	*p = batch[:0]
+	batchPool.Put(p)
+}
+
+// decodePackets parses a packets payload into a pooled packet slab (see
+// ReleaseBatch for the ownership rule). The payload itself is fully copied
+// into the slab's fixed-width records, so the frame buffer is reusable the
+// moment this returns.
 func decodePackets(payload []byte) ([]pkt.Packet, error) {
 	s := &sectionReader{b: payload}
 	n, err := s.uvarint()
@@ -333,18 +450,20 @@ func decodePackets(payload []byte) ([]pkt.Packet, error) {
 	if n > uint64(len(s.b)) {
 		return nil, fmt.Errorf("dist: packets frame declares %d records in %d bytes", n, len(s.b))
 	}
-	batch := make([]pkt.Packet, n)
+	batch := acquireBatch(int(n))
 	for i := range batch {
 		p := &batch[i]
 		var raw [13]uint64
 		for j := range raw {
 			v, err := s.uvarint()
 			if err != nil {
+				ReleaseBatch(batch)
 				return nil, fmt.Errorf("dist: packets frame record %d: %w", i, err)
 			}
 			raw[j] = v
 		}
 		if raw[0] > math.MaxInt64 {
+			ReleaseBatch(batch)
 			return nil, fmt.Errorf("dist: packets frame record %d: timestamp overflows", i)
 		}
 		p.Timestamp = time.Duration(raw[0])
@@ -362,9 +481,69 @@ func decodePackets(payload []byte) ([]pkt.Packet, error) {
 		p.PayloadLen = uint16(raw[12])
 	}
 	if len(s.b) != 0 {
+		ReleaseBatch(batch)
 		return nil, fmt.Errorf("dist: packets frame has %d trailing bytes", len(s.b))
 	}
 	return batch, nil
+}
+
+// encodeAck builds an ack payload: the cumulative batch sequence number and
+// the cumulative packet count accepted so far.
+func encodeAck(w *uvarintWriter, seq, packets uint64) []byte {
+	w.buf.Reset()
+	w.uvarint(seq)
+	w.uvarint(packets)
+	return w.buf.Bytes()
+}
+
+// decodeAck parses an ack payload. Acks are cumulative: seq covers every
+// batch up to and including it.
+func decodeAck(payload []byte) (seq, packets uint64, err error) {
+	s := &sectionReader{b: payload}
+	if seq, err = s.uvarint(); err != nil {
+		return 0, 0, fmt.Errorf("dist: ack frame: %w", err)
+	}
+	if packets, err = s.uvarint(); err != nil {
+		return 0, 0, fmt.Errorf("dist: ack frame: %w", err)
+	}
+	if seq > math.MaxInt64 || packets > math.MaxInt64 {
+		return 0, 0, fmt.Errorf("dist: ack frame count overflows")
+	}
+	if len(s.b) != 0 {
+		return 0, 0, fmt.Errorf("dist: ack frame has %d trailing bytes", len(s.b))
+	}
+	return seq, packets, nil
+}
+
+// encodeOpenOK builds an openok payload: the session id and the credit
+// window the daemon grants the session.
+func encodeOpenOK(w *uvarintWriter, id uint64, window int) []byte {
+	w.buf.Reset()
+	w.uvarint(id)
+	w.uvarint(uint64(window))
+	return w.buf.Bytes()
+}
+
+// decodeOpenOK parses an openok payload. The window is clamped into
+// [1, MaxWindow]: a daemon that advertises nonsense cannot make the client
+// buffer unbounded in-flight state.
+func decodeOpenOK(payload []byte) (id uint64, window int, err error) {
+	s := &sectionReader{b: payload}
+	if id, err = s.uvarint(); err != nil {
+		return 0, 0, fmt.Errorf("dist: openok frame: %w", err)
+	}
+	w, err := s.uvarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: openok frame: %w", err)
+	}
+	window = int(w)
+	if w > MaxWindow {
+		window = MaxWindow
+	}
+	if window < 1 {
+		window = 1
+	}
+	return id, window, nil
 }
 
 // SessionSummary is the closed-frame payload: what one ingestion session

@@ -14,10 +14,17 @@ import (
 // daemon (internal/server) drives the Accept/Next/Send* half, its capture
 // clients the Open/Push/Finish half. All frame IO runs under the NetConfig
 // deadlines, so neither peer can wedge the other indefinitely.
+//
+// The exchange is pipelined: after Open a client may keep up to the granted
+// credit window of PushAsync batches in flight before it must ReadAck; the
+// daemon acks cumulatively. Push (send one batch, wait for its ack) remains
+// as the window-of-one composition of the two.
 type SessionConn struct {
 	conn net.Conn
 	br   *bufio.Reader
 	nc   NetConfig
+	enc  uvarintWriter // scratch for outgoing packets frames (client half)
+	ack  uvarintWriter // scratch for outgoing ack frames (daemon half)
 }
 
 // NewSessionConn wraps an established connection. nc's zero fields resolve to
@@ -40,32 +47,35 @@ func (c *SessionConn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
 // The caller decides admission (quotas, option validation) and answers with
 // SendOpenOK or SendFail.
 func (c *SessionConn) Accept() (tenant string, opts core.Options, err error) {
-	typ, payload, err := readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
+	typ, fp, err := readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
 	if err != nil {
 		return "", core.Options{}, fmt.Errorf("dist: session hello: %w", err)
 	}
 	if typ != frameHello {
+		fp.release()
 		return "", core.Options{}, fmt.Errorf("dist: session opened with %s, want hello", frameName(typ))
 	}
-	s := &sectionReader{b: payload}
-	if v, err := s.uvarint(); err != nil || v != protoVersion {
+	s := &sectionReader{b: fp.b}
+	v, verr := s.uvarint()
+	fp.release()
+	if verr != nil || v != protoVersion {
 		return "", core.Options{}, fmt.Errorf("dist: session protocol version %d, want %d", v, protoVersion)
 	}
-	typ, payload, err = readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
+	typ, fp, err = readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
 	if err != nil {
 		return "", core.Options{}, fmt.Errorf("dist: session open: %w", err)
 	}
+	defer fp.release()
 	if typ != frameOpen {
 		return "", core.Options{}, fmt.Errorf("dist: session sent %s, want open", frameName(typ))
 	}
-	return decodeOpen(payload)
+	return decodeOpen(fp.b)
 }
 
-// SendOpenOK admits the session under the given id.
-func (c *SessionConn) SendOpenOK(id uint64) error {
-	var w uvarintWriter
-	w.uvarint(id)
-	return writeFrame(c.conn, c.nc.FrameTimeout, frameOpenOK, w.buf.Bytes())
+// SendOpenOK admits the session under the given id, granting the client a
+// credit window of that many in-flight batches.
+func (c *SessionConn) SendOpenOK(id uint64, window int) error {
+	return writeFrame(c.conn, c.nc.FrameTimeout, frameOpenOK, encodeOpenOK(&c.ack, id, window))
 }
 
 // SendFail rejects the session or reports a mid-stream failure; the daemon
@@ -74,13 +84,12 @@ func (c *SessionConn) SendFail(msg string) error {
 	return writeFrame(c.conn, c.nc.FrameTimeout, frameFail, encodeFail(0, msg))
 }
 
-// SendAck acknowledges the cumulative packet count accepted so far. The
-// daemon sends it only after the batch is queued into the session pipeline,
-// so a backpressured pipeline stalls the ack stream.
-func (c *SessionConn) SendAck(total int64) error {
-	var w uvarintWriter
-	w.uvarint(uint64(total))
-	return writeFrame(c.conn, c.nc.FrameTimeout, frameAck, w.buf.Bytes())
+// SendAck acknowledges batches cumulatively: every batch up to and including
+// seq is accepted, totalling packets records. The daemon sends it only after
+// the batch is queued into the session pipeline, so the ack stream is the
+// durability signal — anything acked survives a disconnect.
+func (c *SessionConn) SendAck(seq, packets int64) error {
+	return writeFrame(c.conn, c.nc.FrameTimeout, frameAck, encodeAck(&c.ack, uint64(seq), uint64(packets)))
 }
 
 // SendClosed reports the session summary: the answer to a clean close, or —
@@ -93,20 +102,24 @@ func (c *SessionConn) SendClosed(s SessionSummary) error {
 // SessionEvent is one client frame as seen by the daemon: a packet batch, or
 // the clean end of the stream.
 type SessionEvent struct {
-	Batch []pkt.Packet // freshly allocated; nil on Close
+	// Batch is a pooled packet slab; nil on Close. The consumer owns it and
+	// must hand it (or the slab it was split from) back with ReleaseBatch
+	// exactly once, after nothing references it any more.
+	Batch []pkt.Packet
 	Close bool
 }
 
 // Next waits (up to ResultTimeout — an idle capture point may legitimately
 // sit quiet between batches) for the client's next packets or close frame.
 func (c *SessionConn) Next() (SessionEvent, error) {
-	typ, payload, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxPacketsPayload)
+	typ, fp, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxPacketsPayload)
 	if err != nil {
 		return SessionEvent{}, err
 	}
+	defer fp.release()
 	switch typ {
 	case framePackets:
-		batch, err := decodePackets(payload)
+		batch, err := decodePackets(fp.b)
 		if err != nil {
 			return SessionEvent{}, err
 		}
@@ -121,89 +134,115 @@ func (c *SessionConn) Next() (SessionEvent, error) {
 // --- client half ---
 
 // Open performs the client half of the handshake — hello, then open — and
-// waits for admission. A fail frame becomes the returned error.
-func (c *SessionConn) Open(tenant string, opts core.Options) (id uint64, err error) {
+// waits for admission. It returns the daemon-assigned session id and the
+// granted credit window (how many batches may be in flight unacked). A fail
+// frame becomes the returned error.
+func (c *SessionConn) Open(tenant string, opts core.Options) (id uint64, window int, err error) {
 	var hello uvarintWriter
 	hello.uvarint(protoVersion)
 	if err := writeFrame(c.conn, c.nc.FrameTimeout, frameHello, hello.buf.Bytes()); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if err := writeFrame(c.conn, c.nc.FrameTimeout, frameOpen, encodeOpen(tenant, opts)); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	typ, payload, err := readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
+	typ, fp, err := readFrame(c.conn, c.br, c.nc.FrameTimeout, maxControlPayload)
 	if err != nil {
-		return 0, fmt.Errorf("dist: session admission: %w", err)
+		return 0, 0, fmt.Errorf("dist: session admission: %w", err)
 	}
+	defer fp.release()
 	switch typ {
 	case frameOpenOK:
-		s := &sectionReader{b: payload}
-		return s.uvarint()
+		return decodeOpenOK(fp.b)
 	case frameFail:
-		_, msg, _ := decodeFail(payload)
-		return 0, fmt.Errorf("dist: session rejected: %s", msg)
+		_, msg, _ := decodeFail(fp.b)
+		return 0, 0, fmt.Errorf("dist: session rejected: %s", msg)
 	default:
-		return 0, fmt.Errorf("dist: unexpected %s frame, want openok", frameName(typ))
+		return 0, 0, fmt.Errorf("dist: unexpected %s frame, want openok", frameName(typ))
 	}
 }
 
-// Push sends one packet batch and waits for the daemon's answer. It returns
-// the daemon's cumulative ack count; when the daemon finalized the session
-// early (graceful drain), it returns the summary instead — the caller should
-// stop streaming.
-func (c *SessionConn) Push(batch []pkt.Packet) (acked int64, drained *SessionSummary, err error) {
-	if err := writeFrame(c.conn, c.nc.ResultTimeout, framePackets, encodePackets(batch)); err != nil {
-		return 0, nil, err
-	}
-	return c.awaitAck()
+// PushAsync sends one packet batch without waiting for an ack — the caller
+// tracks its credit window and calls ReadAck when it must refill. The batch
+// is fully serialized into a per-connection scratch buffer before this
+// returns, so the caller's slice is free for reuse immediately.
+func (c *SessionConn) PushAsync(batch []pkt.Packet) error {
+	encodePacketsInto(&c.enc, batch)
+	return writeFrame(c.conn, c.nc.ResultTimeout, framePackets, c.enc.buf.Bytes())
 }
 
-// awaitAck reads the daemon's response to a packets frame: ack, an early
-// closed (drain), or fail.
-func (c *SessionConn) awaitAck() (int64, *SessionSummary, error) {
-	typ, payload, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxControlPayload)
+// ReadAck reads the daemon's next answer in the data phase: a cumulative ack
+// (seq covers every batch up to and including it, packets is the cumulative
+// record count), an early closed frame (graceful drain — returned as the
+// summary; the caller should stop streaming), or fail.
+func (c *SessionConn) ReadAck() (seq, packets int64, drained *SessionSummary, err error) {
+	typ, fp, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxControlPayload)
 	if err != nil {
-		return 0, nil, fmt.Errorf("dist: session ack: %w", err)
+		return 0, 0, nil, fmt.Errorf("dist: session ack: %w", err)
 	}
+	defer fp.release()
 	switch typ {
 	case frameAck:
-		s := &sectionReader{b: payload}
-		n, err := s.uvarint()
+		s, p, err := decodeAck(fp.b)
 		if err != nil {
-			return 0, nil, fmt.Errorf("dist: ack frame: %w", err)
+			return 0, 0, nil, err
 		}
-		return int64(n), nil, nil
+		return int64(s), int64(p), nil, nil
 	case frameClosed:
-		sum, err := decodeSummary(payload)
+		sum, err := decodeSummary(fp.b)
 		if err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
-		return sum.Packets, &sum, nil
+		return 0, sum.Packets, &sum, nil
 	case frameFail:
-		_, msg, _ := decodeFail(payload)
-		return 0, nil, fmt.Errorf("dist: session failed: %s", msg)
+		_, msg, _ := decodeFail(fp.b)
+		return 0, 0, nil, fmt.Errorf("dist: session failed: %s", msg)
 	default:
-		return 0, nil, fmt.Errorf("dist: unexpected %s frame, want ack", frameName(typ))
+		return 0, 0, nil, fmt.Errorf("dist: unexpected %s frame, want ack", frameName(typ))
 	}
+}
+
+// Push sends one packet batch and waits for its ack — the stop-and-wait
+// composition of PushAsync and ReadAck, for callers that do not pipeline. It
+// returns the daemon's cumulative packet count; when the daemon finalized
+// the session early (graceful drain), it returns the summary instead.
+func (c *SessionConn) Push(batch []pkt.Packet) (acked int64, drained *SessionSummary, err error) {
+	if err := c.PushAsync(batch); err != nil {
+		return 0, nil, err
+	}
+	_, packets, drained, err := c.ReadAck()
+	return packets, drained, err
 }
 
 // Finish ends the stream cleanly and returns the daemon's session summary.
-// The daemon may have drained first; the summary's Drained flag says which.
+// Acks for still-unconfirmed in-flight batches are drained on the way — the
+// closed frame is cumulative over all of them. The daemon may have drained
+// first; the summary's Drained flag says which.
 func (c *SessionConn) Finish() (SessionSummary, error) {
 	if err := writeFrame(c.conn, c.nc.FrameTimeout, frameClose, nil); err != nil {
 		return SessionSummary{}, err
 	}
-	typ, payload, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxControlPayload)
-	if err != nil {
-		return SessionSummary{}, fmt.Errorf("dist: session close: %w", err)
-	}
-	switch typ {
-	case frameClosed:
-		return decodeSummary(payload)
-	case frameFail:
-		_, msg, _ := decodeFail(payload)
-		return SessionSummary{}, fmt.Errorf("dist: session failed: %s", msg)
-	default:
-		return SessionSummary{}, fmt.Errorf("dist: unexpected %s frame, want closed", frameName(typ))
+	for {
+		typ, fp, err := readFrame(c.conn, c.br, c.nc.ResultTimeout, maxControlPayload)
+		if err != nil {
+			return SessionSummary{}, fmt.Errorf("dist: session close: %w", err)
+		}
+		switch typ {
+		case frameAck:
+			// In-flight batches acked after our close went out; keep
+			// draining until the summary arrives.
+			fp.release()
+		case frameClosed:
+			sum, err := decodeSummary(fp.b)
+			fp.release()
+			return sum, err
+		case frameFail:
+			_, msg, _ := decodeFail(fp.b)
+			fp.release()
+			return SessionSummary{}, fmt.Errorf("dist: session failed: %s", msg)
+		default:
+			fp.release()
+			return SessionSummary{}, fmt.Errorf("dist: unexpected %s frame, want closed", frameName(typ))
+		}
 	}
 }

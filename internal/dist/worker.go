@@ -97,7 +97,7 @@ func (w *Worker) Close() error { return w.conn.Close() }
 func (w *Worker) Run() error {
 	defer w.conn.Close()
 	for {
-		typ, payload, err := readFrame(w.conn, w.br, w.cfg.ResultTimeout, maxControlPayload)
+		typ, fp, err := readFrame(w.conn, w.br, w.cfg.ResultTimeout, maxControlPayload)
 		if err != nil {
 			if w.exchanges > 0 && isDisconnect(err) {
 				w.cfg.Logger.Info("dist: coordinator hung up; assuming run complete", "shards", w.exchanges)
@@ -107,15 +107,18 @@ func (w *Worker) Run() error {
 		}
 		switch typ {
 		case frameDone:
+			fp.release()
 			w.cfg.Logger.Info("dist: coordinator done", "shards", w.exchanges)
 			return nil
 		case frameFail:
 			// The coordinator rejected our last result or aborted the run,
 			// and is about to hang up; the message carries the context.
-			_, msg, _ := decodeFail(payload)
+			_, msg, _ := decodeFail(fp.b)
+			fp.release()
 			return fmt.Errorf("dist: coordinator: %s", msg)
 		case frameAssign:
-			a, err := decodeAssignment(payload)
+			a, err := decodeAssignment(fp.b)
+			fp.release()
 			if err != nil {
 				return err
 			}
@@ -127,6 +130,7 @@ func (w *Worker) Run() error {
 			}
 			w.exchanges++
 		default:
+			fp.release()
 			return fmt.Errorf("dist: unexpected %s frame from coordinator", frameName(typ))
 		}
 	}

@@ -16,42 +16,77 @@ import (
 // client's Close still returns the summary; only unacked packets were lost.
 var ErrSessionDrained = errors.New("server: session drained by daemon shutdown")
 
-// Client is one capture stream into a flowzipd daemon: dial, Send batches
-// (each Send blocks until the daemon acks, so daemon backpressure propagates
-// to the capture point), then Close for the session summary.
+// Client is one capture stream into a flowzipd daemon: dial, Send batches,
+// then Close for the session summary.
+//
+// The data plane is pipelined: Send keeps up to the session's credit window
+// of batches in flight and only blocks reading acks when the window is
+// exhausted, so sustained throughput is bounded by link bandwidth and the
+// daemon's compression speed instead of one round trip per batch. The
+// daemon's acks are cumulative and are its durability promise: on a
+// disconnect or daemon drain, every acked batch is flushed into archives and
+// only unacked batches are lost.
 type Client struct {
 	sc      *dist.SessionConn
 	id      uint64
+	window  int64
+	sent    int64 // batches pushed
+	acked   int64 // highest cumulative batch seq acked
+	ackedP  int64 // cumulative packets acked
 	drained *dist.SessionSummary
 }
 
 // DialSession connects to a daemon and opens a session under tenant. The
 // daemon validates opts and applies its quotas; a rejection surfaces here.
+// The effective credit window is the smaller of nc.Window (0 = the default)
+// and the window the daemon advertises in its openok.
 func DialSession(addr, tenant string, opts core.Options, nc dist.NetConfig) (*Client, error) {
 	to := nc.FrameTimeout
 	if to <= 0 {
 		to = dist.DefaultFrameTimeout
+	}
+	want := nc.Window
+	if want <= 0 {
+		want = dist.DefaultWindow
+	}
+	if want > dist.MaxWindow {
+		want = dist.MaxWindow
 	}
 	conn, err := net.DialTimeout("tcp", addr, to)
 	if err != nil {
 		return nil, fmt.Errorf("server: dial daemon %s: %w", addr, err)
 	}
 	sc := dist.NewSessionConn(conn, nc)
-	id, err := sc.Open(tenant, opts)
+	id, granted, err := sc.Open(tenant, opts)
 	if err != nil {
 		sc.Close()
 		return nil, err
 	}
-	return &Client{sc: sc, id: id}, nil
+	if granted < want {
+		want = granted
+	}
+	return &Client{sc: sc, id: id, window: int64(want)}, nil
 }
 
 // SessionID returns the daemon-assigned session id — the `s<id>-<seq>.fz`
 // prefix of the session's archive segments.
 func (c *Client) SessionID() uint64 { return c.id }
 
-// Send pushes one packet batch and waits for the ack. It returns
-// ErrSessionDrained when the daemon finalized the session mid-stream; the
-// caller should stop sending and Close.
+// Window returns the effective credit window: the most batches this client
+// keeps in flight before blocking on acks.
+func (c *Client) Window() int { return int(c.window) }
+
+// Acked reports the daemon's cumulative durability promise so far: complete
+// batches and packets acked into the session pipeline. Batches beyond this
+// watermark are in flight and would be lost by a disconnect right now.
+func (c *Client) Acked() (batches, packets int64) { return c.acked, c.ackedP }
+
+// Send pushes one packet batch into the session's credit window. It blocks
+// only when the window is full (waiting for the daemon's cumulative acks to
+// free credits). The batch is fully serialized before Send returns, so the
+// caller may reuse the slice immediately. It returns ErrSessionDrained when
+// the daemon finalized the session mid-stream; the caller should stop
+// sending and Close.
 func (c *Client) Send(batch []pkt.Packet) error {
 	if c.drained != nil {
 		return ErrSessionDrained
@@ -59,29 +94,62 @@ func (c *Client) Send(batch []pkt.Packet) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	_, drained, err := c.sc.Push(batch)
+	if err := c.sc.PushAsync(batch); err != nil {
+		return err
+	}
+	c.sent++
+	for c.sent-c.acked >= c.window {
+		if err := c.readAck(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAck consumes one daemon answer and advances the cumulative watermarks.
+func (c *Client) readAck() error {
+	seq, packets, drained, err := c.sc.ReadAck()
 	if err != nil {
 		return err
 	}
 	if drained != nil {
 		c.drained = drained
+		if packets > c.ackedP {
+			c.ackedP = packets
+		}
 		return ErrSessionDrained
+	}
+	if seq > c.acked {
+		c.acked = seq
+	}
+	if packets > c.ackedP {
+		c.ackedP = packets
 	}
 	return nil
 }
 
-// Close finishes the session and returns the daemon's summary. After a
-// drain notice the stored summary is returned without another exchange.
+// Close finishes the session and returns the daemon's summary, draining any
+// acks still in flight on the way (the closed frame is cumulative over
+// them). After a drain notice the stored summary is returned without
+// another exchange.
 func (c *Client) Close() (dist.SessionSummary, error) {
 	defer c.sc.Close()
 	if c.drained != nil {
 		return *c.drained, nil
 	}
-	return c.sc.Finish()
+	sum, err := c.sc.Finish()
+	if err == nil {
+		c.acked = c.sent
+		if sum.Packets > c.ackedP {
+			c.ackedP = sum.Packets
+		}
+	}
+	return sum, err
 }
 
 // Abort drops the connection without the closing exchange — the daemon's
-// disconnect path flushes what was acked.
+// disconnect path flushes what was acked; in-flight unacked batches are
+// lost.
 func (c *Client) Abort() error { return c.sc.Close() }
 
 // Ingest streams every batch of src into a daemon session under tenant and

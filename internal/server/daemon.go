@@ -258,7 +258,7 @@ func (d *Daemon) handle(conn net.Conn) {
 		return
 	}
 	defer d.release(s)
-	if err := sc.SendOpenOK(s.id); err != nil {
+	if err := sc.SendOpenOK(s.id, s.window); err != nil {
 		s.endReason = ReasonDisconnect
 		close(s.batches)
 		<-s.done
@@ -309,10 +309,17 @@ func (d *Daemon) admit(tenant string, opts core.Options) (*session, error) {
 		return nil, fmt.Errorf("server: tenant directory: %w", err)
 	}
 
-	batches := make(chan []pkt.Packet)
+	// The batch channel is buffered to the credit window: the daemon can
+	// accept (and ack) up to window batches ahead of the pipeline, which is
+	// exactly the pipelining the client was granted in openok. A full buffer
+	// stalls the ack stream, which stalls the client once its window is
+	// spent — backpressure end to end, never unbounded memory.
+	window := d.window()
+	batches := make(chan []pkt.Packet, window)
 	s := &session{
 		id:      id,
 		tenant:  tenant,
+		window:  window,
 		pipe:    pipe,
 		stats:   stats,
 		batches: batches,
@@ -320,6 +327,7 @@ func (d *Daemon) admit(tenant string, opts core.Options) (*session, error) {
 			in:         batches,
 			maxPackets: d.cfg.Rotation.MaxPackets,
 			maxAge:     d.cfg.Rotation.MaxAge,
+			inflight:   d.metrics.InflightBatches,
 		},
 		done:   make(chan struct{}),
 		failed: make(chan struct{}),
@@ -330,6 +338,18 @@ func (d *Daemon) admit(tenant string, opts core.Options) (*session, error) {
 	return s, nil
 }
 
+// window resolves the credit window the daemon advertises to each session.
+func (d *Daemon) window() int {
+	w := d.cfg.Net.Window
+	if w <= 0 {
+		w = dist.DefaultWindow
+	}
+	if w > dist.MaxWindow {
+		w = dist.MaxWindow
+	}
+	return w
+}
+
 // release deregisters a finished session.
 func (d *Daemon) release(s *session) {
 	d.mu.Lock()
@@ -338,18 +358,23 @@ func (d *Daemon) release(s *session) {
 	d.metrics.SessionsActive.Add(-1)
 }
 
-// frameEvent is one reader-goroutine observation: a batch, a clean close, or
-// the connection dying.
+// frameEvent is one reader-goroutine observation: a batch (a pooled slab the
+// receiver must account for), a clean close, or the connection dying. recv
+// stamps when the frame came off the wire, for the ack-latency histogram.
 type frameEvent struct {
 	batch []pkt.Packet
+	recv  time.Time
 	close bool
 	err   error
 }
 
 // serveSession runs the accept loop of one admitted session: a reader
 // goroutine turns connection frames into events, the loop feeds batches into
-// the session pipeline (acking only after the enqueue, so a backpressured
-// pipeline stalls the client) and watches for drain and pipeline failure.
+// the session pipeline and acks cumulatively only after the enqueue — the
+// channel buffer is the daemon half of the credit window, so a backpressured
+// pipeline stalls the ack stream and, once the client's window is spent, the
+// client itself. Every pooled batch slab is either enqueued (the pipeline
+// side releases it) or released here.
 func (d *Daemon) serveSession(sc *dist.SessionConn, s *session) {
 	frames := make(chan frameEvent)
 	stop := make(chan struct{})
@@ -357,7 +382,7 @@ func (d *Daemon) serveSession(sc *dist.SessionConn, s *session) {
 	go func() {
 		for {
 			ev, err := sc.Next()
-			fe := frameEvent{batch: ev.Batch, close: ev.Close, err: err}
+			fe := frameEvent{batch: ev.Batch, recv: time.Now(), close: ev.Close, err: err}
 			select {
 			case frames <- fe:
 			case <-stop:
@@ -369,7 +394,7 @@ func (d *Daemon) serveSession(sc *dist.SessionConn, s *session) {
 		}
 	}()
 
-	var total int64
+	var seq, total int64
 	end := ReasonDisconnect
 loop:
 	for {
@@ -383,23 +408,28 @@ loop:
 				end = ReasonClose
 				break loop
 			case len(fe.batch) == 0:
+				dist.ReleaseBatch(fe.batch)
 				continue
 			}
 			feed := time.Now()
 			select {
 			case s.batches <- fe.batch:
 			case <-s.failed:
+				dist.ReleaseBatch(fe.batch)
 				end = reasonError
 				break loop
 			}
+			seq++
 			total += int64(len(fe.batch))
 			d.metrics.Batches.Add(1)
 			d.metrics.Packets.Add(int64(len(fe.batch)))
 			d.metrics.BatchSeconds.Observe(time.Since(feed).Seconds())
-			if err := sc.SendAck(total); err != nil {
+			d.metrics.InflightBatches.Add(1)
+			if err := sc.SendAck(seq, total); err != nil {
 				end = ReasonDisconnect
 				break loop
 			}
+			d.metrics.AckSeconds.Observe(time.Since(fe.recv).Seconds())
 		case <-s.failed:
 			end = reasonError
 			break loop
@@ -443,6 +473,7 @@ loop:
 			for {
 				select {
 				case fe := <-frames:
+					dist.ReleaseBatch(fe.batch)
 					if fe.err != nil || fe.close {
 						break linger
 					}

@@ -414,7 +414,10 @@ func TestDaemonDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := webTrace(26, 200)
-	c, err := DialSession(d.Addr().String(), "longhaul", core.DefaultOptions(), dist.NetConfig{})
+	// Window 1 pins stop-and-wait so every Send observes the daemon's answer
+	// and the drain notice surfaces mid-stream deterministically; the
+	// pipelined-window drain path is covered by the window tests.
+	c, err := DialSession(d.Addr().String(), "longhaul", core.DefaultOptions(), dist.NetConfig{Window: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,13 +43,24 @@ type Metrics struct {
 	// cannot corrupt the scrape).
 	TenantBytes *obs.CounterVec
 
-	// BatchSeconds is the latency feeding one accepted batch into its
-	// session pipeline — including any backpressure stall, so a scrape
-	// shows when clients outrun the compressors.
+	// BatchSeconds is the latency handing one accepted batch to its
+	// session pipeline. Under the pipelined data plane this stall no
+	// longer blocks the client directly — it delays the cumulative ack,
+	// consuming credit window — so a scrape shows when compressors, not
+	// the network, are the bottleneck.
 	BatchSeconds *obs.Histogram
 	// SegmentSeconds is the latency encoding and landing one rotated
 	// archive segment (encode + quota check + file writes).
 	SegmentSeconds *obs.Histogram
+	// InflightBatches is the number of batches acked to clients but not
+	// yet pulled into a session pipeline — credit-window occupancy on the
+	// daemon side, summed over sessions.
+	InflightBatches *obs.Gauge
+	// AckSeconds is the daemon-side ack latency: from reading a packets
+	// frame off a session connection to writing its cumulative ack,
+	// including any pipeline enqueue stall. The client-observed ack RTT is
+	// this plus one network round trip.
+	AckSeconds *obs.Histogram
 
 	// Pipeline aggregates the per-session compression pipelines: every
 	// session's pipeline observes into this one set (the instruments are
@@ -81,8 +92,10 @@ func newMetrics() *Metrics {
 	m.TenantBytes = reg.CounterVec("flowzipd_tenant_archive_bytes_total", "Encoded bytes per tenant.", "tenant")
 
 	// New series append after the legacy block.
-	m.BatchSeconds = reg.Histogram("flowzipd_batch_seconds", "Latency feeding one accepted batch into its session pipeline, including backpressure stalls.", obs.DefaultLatencyBuckets)
+	m.BatchSeconds = reg.Histogram("flowzipd_batch_seconds", "Latency handing one accepted batch to its session pipeline; stalls here consume credit window instead of blocking the client.", obs.DefaultLatencyBuckets)
 	m.SegmentSeconds = reg.Histogram("flowzipd_segment_seconds", "Latency encoding and writing one rotated archive segment.", obs.DefaultLatencyBuckets)
+	m.InflightBatches = reg.Gauge("flowzipd_inflight_batches", "Batches acked but not yet pulled into a session pipeline (credit-window occupancy).")
+	m.AckSeconds = reg.Histogram("flowzipd_ack_seconds", "Daemon-side latency from reading a packets frame to writing its cumulative ack.", obs.DefaultLatencyBuckets)
 	m.Pipeline = core.NewPipelineMetrics(reg, "flowzipd_pipeline")
 	obs.RegisterRuntimeMetrics(reg)
 	return m

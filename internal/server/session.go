@@ -11,6 +11,7 @@ import (
 
 	"flowzip/internal/core"
 	"flowzip/internal/dist"
+	"flowzip/internal/obs"
 	"flowzip/internal/pkt"
 )
 
@@ -76,6 +77,7 @@ func ReadSegmentMeta(path string) (*SegmentMeta, error) {
 type session struct {
 	id     uint64
 	tenant string
+	window int // credit window advertised in openok; batches channel buffer
 	pipe   *core.Pipeline
 	stats  *core.ParallelStats
 
@@ -108,7 +110,10 @@ func (d *Daemon) runSession(s *session) {
 	if err != nil {
 		s.pipeErr = err
 		close(s.failed)
-		for range s.batches {
+		s.src.releaseSlab()
+		for b := range s.batches {
+			s.src.inflight.Add(-1)
+			dist.ReleaseBatch(b)
 		}
 	}
 }
@@ -218,11 +223,21 @@ func (d *Daemon) writeSegment(s *session, seq int, arch *core.Archive) error {
 // done set). MaxPackets splits mid-batch, carrying the remainder into the
 // next segment, so size boundaries are exact; MaxAge is checked as batches
 // are pulled, so an idle session rotates on its next batch.
+//
+// Batches arrive as pooled slabs (dist.ReleaseBatch). The PacketSource
+// contract says a returned slice is only valid until the following Next, and
+// the pipeline honors it by copying packets out before pulling again — so
+// the slab lent out last call is recycled on the next channel pull, and the
+// final one when the channel closes. A mid-batch split keeps the slab alive
+// (the leftover aliases it), which the pull-time release handles naturally:
+// leftovers are consumed before the next pull.
 type segmentSource struct {
 	in         <-chan []pkt.Packet
 	maxPackets int64
 	maxAge     time.Duration
+	inflight   *obs.Gauge // credit-window occupancy; decremented per pull
 
+	slab     []pkt.Packet // pooled slab currently lent out (covers leftover)
 	leftover []pkt.Packet
 	done     bool // channel exhausted: the session is over
 
@@ -261,8 +276,12 @@ func (s *segmentSource) Next() ([]pkt.Packet, error) {
 		b, ok := <-s.in
 		if !ok {
 			s.done = true
+			s.releaseSlab()
 			return nil, io.EOF
 		}
+		s.inflight.Add(-1)
+		s.releaseSlab()
+		s.slab = b
 		batch = b
 	}
 	if s.maxPackets > 0 && s.segPackets+int64(len(batch)) > s.maxPackets {
@@ -278,4 +297,14 @@ func (s *segmentSource) Next() ([]pkt.Packet, error) {
 		s.segPackets += int64(len(batch))
 	}
 	return batch, nil
+}
+
+// releaseSlab recycles the slab lent out by the last Next, once nothing can
+// reference it any more: the pipeline has copied its packets and no leftover
+// aliases it. Safe to call repeatedly.
+func (s *segmentSource) releaseSlab() {
+	if s.slab != nil {
+		dist.ReleaseBatch(s.slab)
+		s.slab = nil
+	}
 }
